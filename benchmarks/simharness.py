@@ -1,0 +1,92 @@
+"""Shared platform builders for the simulation experiments.
+
+Production runs at 600+ hosts and 120 K tasks; the experiments here scale
+the cluster down (documented per bench) while keeping every control-plane
+interval at its paper value unless noted. Coarser data-plane stepping is
+the one concession to pure-Python speed — it does not change control-plane
+behaviour, only the granularity at which bytes move.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.metrics.aggregate import percentile
+from repro.workloads import ScubaFleet, TrafficDriver
+
+
+def build_platform(
+    num_hosts: int,
+    seed: int,
+    containers_per_host: int = 2,
+    num_shards: int = 128,
+    step_interval: float = 60.0,
+    stats_interval: float = 120.0,
+    heartbeat_interval: float = 10.0,
+    with_scaler: bool = False,
+    scaler_config=None,
+) -> Turbine:
+    config = PlatformConfig(
+        num_shards=num_shards,
+        containers_per_host=containers_per_host,
+        step_interval=step_interval,
+        stats_interval=stats_interval,
+        heartbeat_interval=heartbeat_interval,
+    )
+    platform = Turbine.create(num_hosts=num_hosts, seed=seed, config=config)
+    if with_scaler:
+        platform.attach_scaler(scaler_config)
+    platform.start()
+    return platform
+
+
+def provision_scuba_fleet(
+    platform: Turbine,
+    fleet: ScubaFleet,
+    # Keep the driver tick at (or below) the data-plane step interval so
+    # per-step processing is smooth rather than bursty.
+    driver_tick: float = 60.0,
+    partitions_per_category: int = 8,
+    reservation_headroom: float = 0.3,
+    task_count_limit: int = 32,
+) -> TrafficDriver:
+    """Provision a Scuba fleet and attach steady traffic for each table."""
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=driver_tick)
+    specs = fleet.job_specs(
+        task_count_limit=task_count_limit,
+        reservation_headroom=reservation_headroom,
+    )
+    for profile, spec in zip(fleet.profiles, specs):
+        platform.provision(spec, partitions=partitions_per_category)
+        driver.add_source(
+            spec.input_category, lambda t, rate=profile.base_rate_mb: rate
+        )
+    driver.start()
+    return driver
+
+
+def host_cpu_percentiles(platform: Turbine) -> Tuple[float, float, float]:
+    """(p5, p50, p95) of per-host CPU utilization right now."""
+    usage = platform.host_utilization()
+    live_hosts = [h.host_id for h in platform.cluster.live_hosts()]
+    utils = [usage.get(host, {}).get("cpu_util", 0.0) for host in live_hosts]
+    if not utils:
+        return (0.0, 0.0, 0.0)
+    return (
+        percentile(utils, 5), percentile(utils, 50), percentile(utils, 95)
+    )
+
+
+def total_expected_tasks(platform: Turbine) -> int:
+    """Sum of expected task counts across active jobs."""
+    return sum(
+        int(platform.job_service.expected_config(job_id).get("task_count", 0))
+        for job_id in platform.job_service.active_job_ids()
+    )
+
+
+def total_reservations(platform: Turbine) -> Dict[str, float]:
+    """Cluster-wide reserved CPU cores and memory GB."""
+    reserved = platform.cluster.total_reserved()
+    return {"cpu": reserved.cpu, "memory_gb": reserved.memory_gb}

@@ -1,0 +1,92 @@
+"""Ablation — stateful jobs pay more for horizontal scaling.
+
+"Horizontal scaling is challenging since changing the number of tasks
+requires redistributing input checkpoints between tasks for stateless
+jobs, and, additionally, redistributing state for stateful jobs. ... such
+redistribution requires coordination between tasks and, as a result, takes
+more time." (paper section V-E).
+
+This bench performs the same parallelism change (4 → 8 tasks) on a
+stateless job and on a stateful job with substantial state, and measures
+the end-to-end disruption: the time from the config change until the job
+is processing at full capacity again (the stateful job additionally
+re-loads its state partitions on every new task).
+"""
+
+from repro import JobSpec, ResourceVector, SLO
+from repro.analysis import Table
+from repro.jobs import ConfigLevel
+from repro.workloads import TrafficDriver
+
+from benchmarks.simharness import build_platform
+
+RATE_MB = 6.0
+
+
+def measure_resize_disruption(stateful: bool, keys: int = 0):
+    platform = build_platform(
+        num_hosts=4, seed=99, num_shards=64, step_interval=10.0,
+    )
+    # The stateful variant holds keys/task_count × 0.25 GB/M of state per
+    # task; reserve enough memory that OOM does not confound the restore
+    # measurement.
+    memory = 0.5 if not stateful else 1.0 + (keys / 4 / 1e6) * 0.25 * 1.3
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=4,
+                rate_per_thread_mb=2.0, stateful=stateful,
+                state_key_cardinality=keys,
+                resources_per_task=ResourceVector(cpu=1.0, memory_gb=memory),
+                slo=SLO(max_lag_seconds=90.0)),
+        partitions=64,
+    )
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=10.0)
+    driver.add_source("cat", lambda t: RATE_MB)
+    driver.start()
+    platform.run_for(minutes=10)
+    assert platform.job_lag_mb("job") < RATE_MB * 60, "healthy before resize"
+
+    start = platform.now
+    platform.job_service.patch("job", ConfigLevel.SCALER, {"task_count": 8})
+    # Disruption ends when all 8 tasks run, none is restoring, and the
+    # backlog built during the restart has drained back to steady state.
+    while True:
+        platform.run_for(seconds=10.0)
+        tasks = [
+            task
+            for manager in platform.task_managers.values()
+            for task in manager.tasks.values()
+            if task.spec.job_id == "job"
+        ]
+        running = [t for t in tasks if t.state.value == "running"]
+        if (
+            len(running) == 8
+            and not any(t.restoring for t in running)
+            and platform.job_lag_mb("job") < RATE_MB * 30
+        ):
+            break
+        if platform.now - start > 3600.0:
+            break
+    return platform.now - start
+
+
+def test_stateful_resize_costs_more(experiment):
+    def run():
+        stateless = measure_resize_disruption(stateful=False)
+        stateful = measure_resize_disruption(
+            stateful=True, keys=160_000_000  # 40 GB of state
+        )
+        return stateless, stateful
+
+    stateless_seconds, stateful_seconds = experiment(run)
+
+    table = Table(["job kind", "resize disruption (s)"])
+    table.add_row("stateless (checkpoints only)", stateless_seconds)
+    table.add_row("stateful (40 GB state restore)", stateful_seconds)
+    print("\n" + table.render())
+
+    assert stateless_seconds <= 300.0, (
+        "a stateless resize completes within the scheduling latency"
+    )
+    assert stateful_seconds > stateless_seconds, (
+        "state redistribution must make the stateful resize slower"
+    )

@@ -1,0 +1,85 @@
+"""Ablation — vertical-first scaling vs horizontal-only.
+
+DESIGN.md calls out the vertical-before-horizontal policy (paper
+section V-E): vertical scaling is a settings change (a *simple*
+synchronization — tasks restart in place) while horizontal scaling is a
+*complex* synchronization (stop all tasks, redistribute checkpoints,
+start). Favoring vertical therefore minimizes churn.
+
+This bench runs the same moderate traffic step under both policies and
+compares the number of complex synchronizations and the final task count.
+Horizontal-only is emulated by provisioning jobs already at the thread
+ceiling, which removes vertical headroom.
+"""
+
+from repro import JobSpec
+from repro.analysis import Table
+from repro.scaler import AutoScalerConfig
+from repro.workloads import TrafficDriver
+
+from benchmarks.simharness import build_platform
+
+RATE_MB = 10.0  # needs 5 thread-units at P=2
+NUM_JOBS = 8
+
+
+def run_policy(vertical_scaling: bool):
+    platform = build_platform(
+        num_hosts=4, seed=66, num_shards=64, step_interval=30.0,
+        with_scaler=True,
+        scaler_config=AutoScalerConfig(
+            interval=120.0, vertical_scaling=vertical_scaling,
+        ),
+    )
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    for index in range(NUM_JOBS):
+        platform.provision(
+            JobSpec(job_id=f"job-{index}", input_category=f"cat-{index}",
+                    task_count=3, threads_per_task=1,
+                    rate_per_thread_mb=2.0, task_count_limit=64),
+            partitions=32,
+        )
+        driver.add_source(f"cat-{index}", lambda t: RATE_MB)
+    driver.start()
+    platform.run_for(hours=2)
+
+    complex_syncs = sum(
+        len(report.complex_synced) for report in platform.syncer.rounds
+    )
+    tasks = sum(
+        platform.job_service.expected_config(f"job-{index}")["task_count"]
+        for index in range(NUM_JOBS)
+    )
+    lagging = sum(
+        1 for index in range(NUM_JOBS)
+        if (platform.metrics.latest(f"job-{index}", "time_lagged") or 0.0)
+        > 90.0
+    )
+    return complex_syncs, tasks, lagging
+
+
+def test_vertical_first_reduces_churn(experiment):
+    def run():
+        return run_policy(vertical_scaling=True), run_policy(
+            vertical_scaling=False
+        )
+
+    with_vertical, horizontal_only = experiment(run)
+
+    table = Table(["policy", "complex syncs", "total tasks", "lagging jobs"])
+    table.add_row("vertical-first (threads 1→2)", *with_vertical)
+    table.add_row("horizontal-only (forced)", *horizontal_only)
+    print("\n" + table.render())
+
+    vertical_churn, vertical_tasks, vertical_lagging = with_vertical
+    horizontal_churn, horizontal_tasks, horizontal_lagging = horizontal_only
+
+    assert vertical_lagging == 0 and horizontal_lagging == 0, (
+        "both policies must end within SLO"
+    )
+    assert vertical_churn < horizontal_churn, (
+        "vertical scaling avoids complex synchronizations"
+    )
+    assert vertical_tasks <= horizontal_tasks, (
+        "vertical absorbs demand without adding tasks"
+    )

@@ -1,0 +1,77 @@
+"""Fig. 1 — growth of the Scuba Tailer service over one year.
+
+The paper shows input traffic roughly doubling over 12 months with the
+managed task count growing alongside (sub-linearly, since the auto scaler
+right-sizes jobs rather than scaling them with raw traffic).
+
+The year is compressed: each "month" is simulated as a one-hour steady
+window with traffic scaled by the growth trend, and the Auto Scaler's
+steady-state sizing gives the task count for that month.
+"""
+
+import math
+
+from repro.analysis import Table
+from repro.scaler import ResourceEstimator
+from repro.scaler.snapshot import JobSnapshot
+from repro.types import Priority
+from repro.workloads import ScubaFleet
+
+MONTHS = 12
+FLEET_SIZE = 2_000
+
+
+def month_factor(month: int) -> float:
+    """Traffic multiplier: doubles over 12 months (Fig. 1's shape)."""
+    return 2.0 ** (month / 12.0)
+
+
+def test_fig1_yearly_growth(experiment):
+    def run():
+        fleet = ScubaFleet(FLEET_SIZE, seed=1)
+        estimator = ResourceEstimator()
+        rows = []
+        for month in range(MONTHS + 1):
+            factor = month_factor(month)
+            traffic = fleet.total_rate_mb() * factor
+            tasks = 0
+            for profile in fleet.profiles:
+                snapshot = JobSnapshot(
+                    job_id=profile.job_id, time=0.0,
+                    task_count=profile.task_count,
+                    threads=profile.threads_per_task,
+                    task_count_limit=1024,
+                    memory_per_task_gb=1.0, cpu_per_task=1.0,
+                    stateful=False, state_key_cardinality=0,
+                    priority=Priority.NORMAL,
+                    slo_lag_seconds=90.0, slo_recovery_seconds=3600.0,
+                    input_rate_mb=profile.base_rate_mb * factor,
+                    processing_rate_mb=profile.base_rate_mb * factor,
+                    backlog_mb=0.0, time_lagged=0.0, task_rate_stdev=0.0,
+                    oom_recently=False, running_tasks=profile.task_count,
+                )
+                estimate = estimator.estimate(snapshot, rate_per_thread=2.0)
+                tasks += estimate.steady_task_count
+            rows.append((month, traffic, tasks))
+        return rows
+
+    rows = experiment(run)
+    table = Table(["month", "traffic (MB/s)", "task count"])
+    for month, traffic, tasks in rows:
+        table.add_row(month, traffic, tasks)
+    print("\n" + table.render())
+
+    first_traffic, first_tasks = rows[0][1], rows[0][2]
+    last_traffic, last_tasks = rows[-1][1], rows[-1][2]
+    print(f"\ntraffic growth: {last_traffic / first_traffic:.2f}x "
+          f"(paper: ~2x over a year)")
+    print(f"task growth   : {last_tasks / first_tasks:.2f}x")
+
+    assert last_traffic / first_traffic == math.pow(2.0, 1.0)
+    assert last_tasks > first_tasks, "task count grows with traffic"
+    assert last_tasks / first_tasks < last_traffic / first_traffic * 1.2, (
+        "task growth tracks traffic, not faster"
+    )
+    # Monotone growth month over month, like the figure.
+    traffics = [row[1] for row in rows]
+    assert traffics == sorted(traffics)

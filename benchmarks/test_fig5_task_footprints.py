@@ -1,0 +1,41 @@
+"""Fig. 5 — CPU and memory usage CDFs of Scuba Tailer tasks.
+
+Paper observations regenerated here:
+  (a) over 80 % of tasks consume less than one CPU thread; a small
+      percentage need over four;
+  (b) every task consumes at least ~400 MB; over 99 % under 2 GB.
+"""
+
+from repro.analysis import format_cdf
+from repro.metrics.aggregate import fraction_below, percentile
+from repro.workloads import ScubaFleet
+
+FLEET_SIZE = 20_000  # ~120K tasks in production; scaled fleet, same shape
+
+
+def test_fig5_footprint_cdfs(experiment):
+    def build():
+        fleet = ScubaFleet(FLEET_SIZE, seed=42)
+        return fleet.task_footprints()
+
+    cpus, memories = experiment(build)
+
+    print("\n" + format_cdf("Fig 5a: task CPU usage (cores)", cpus))
+    print("\n" + format_cdf("Fig 5b: task memory (GB)", memories))
+
+    under_one_core = fraction_below(cpus, 1.0)
+    over_four = 1.0 - fraction_below(cpus, 4.0)
+    min_memory = min(memories)
+    under_two_gb = fraction_below(memories, 2.0)
+
+    print(f"\ntasks < 1 core : {under_one_core:.1%}  (paper: >80%)")
+    print(f"tasks > 4 cores: {over_four:.2%}   (paper: small percentage)")
+    print(f"min memory     : {min_memory:.2f} GB (paper: ~0.4 GB)")
+    print(f"tasks < 2 GB   : {under_two_gb:.2%}  (paper: >99%)")
+
+    assert under_one_core > 0.80
+    assert 0.0 < over_four < 0.05
+    assert 0.39 <= min_memory <= 0.45
+    assert under_two_gb > 0.99
+    # The paper also notes p50 memory well under 1 GB.
+    assert percentile(memories, 50) < 1.0

@@ -1,0 +1,76 @@
+"""Fig. 6 — CPU and memory utilization stay uniform across hosts.
+
+The paper measures one production cluster (>600 hosts) for a week: p5/p50/
+p95 of per-host CPU (6a) and memory (6b) utilization nearly coincide, and
+the number of tasks per host stays in a narrow range (6c, ~150–230), with
+deliberate headroom kept free for spikes.
+
+Scaled here to 16 hosts / ~750 tasks over 3 simulated days; the shape under
+test is the *closeness* of the percentiles and the boundedness of the
+tasks-per-host spread, not the absolute host count.
+"""
+
+from repro.analysis import Table
+from repro.metrics.aggregate import percentile
+from repro.workloads import ScubaFleet
+
+from benchmarks.simharness import (
+    build_platform,
+    host_cpu_percentiles,
+    provision_scuba_fleet,
+)
+
+DAYS = 3
+
+
+def run_experiment_fn():
+    platform = build_platform(
+        num_hosts=16, seed=6, containers_per_host=2, num_shards=512,
+        step_interval=60.0, stats_interval=600.0, heartbeat_interval=30.0,
+    )
+    fleet = ScubaFleet(num_jobs=600, seed=6)
+    provision_scuba_fleet(platform, fleet, partitions_per_category=4)
+
+    platform.run_for(hours=2)  # settle: schedule + first load reports
+
+    cpu_samples = []   # (day, p5, p50, p95)
+    mem_samples = []
+    for sample_index in range(DAYS * 6):  # every 4 hours
+        platform.run_for(hours=4)
+        day = platform.now / 86400.0
+        cpu_samples.append((day,) + host_cpu_percentiles(platform))
+        usage = platform.host_utilization()
+        mems = [entry["mem_util"] for entry in usage.values()]
+        mem_samples.append(
+            (day, percentile(mems, 5), percentile(mems, 50),
+             percentile(mems, 95))
+        )
+    usage = platform.host_utilization()
+    tasks_per_host = [entry["tasks"] for entry in usage.values()]
+    return cpu_samples, mem_samples, tasks_per_host
+
+
+def test_fig6_cluster_utilization(experiment):
+    cpu_samples, mem_samples, tasks_per_host = experiment(run_experiment_fn)
+
+    table = Table(["day", "cpu p5", "cpu p50", "cpu p95",
+                   "mem p5", "mem p50", "mem p95"])
+    for cpu, mem in zip(cpu_samples, mem_samples):
+        table.add_row(f"{cpu[0]:.2f}", cpu[1], cpu[2], cpu[3],
+                      mem[1], mem[2], mem[3])
+    print("\n" + table.render())
+    print(f"\ntasks per host: min={min(tasks_per_host):.0f} "
+          f"max={max(tasks_per_host):.0f} (paper: ~150-230 on big hosts)")
+
+    # Fig 6a/6b: percentiles nearly coincide at every sample.
+    for day, p5, p50, p95 in cpu_samples:
+        assert p95 - p5 < 0.10, f"cpu spread too wide on day {day:.2f}"
+    for day, p5, p50, p95 in mem_samples:
+        assert p95 - p5 < 0.10, f"mem spread too wide on day {day:.2f}"
+
+    # Headroom: hosts are never run hot (the paper deliberately keeps
+    # room to absorb simultaneous spikes).
+    assert max(p95 for __, __, __, p95 in cpu_samples) < 0.85
+
+    # Fig 6c: tasks per host inside a modest range (paper ~1.5x).
+    assert max(tasks_per_host) / max(1.0, min(tasks_per_host)) < 2.0

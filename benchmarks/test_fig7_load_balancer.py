@@ -1,0 +1,104 @@
+"""Fig. 7 — the load balancer stabilizes per-host utilization.
+
+Timeline (as in the paper's test-cluster experiment, section VI-A):
+  hour  0–6  : balancer enabled, traffic with occasional spikes;
+  hour  6    : balancer disabled → spiky per-host CPU persists;
+  hour 14    : fail-over triggered on a few machines → imbalance across
+               the cluster (recovered hosts sit idle, survivors run hot);
+  hour 20    : balancer re-enabled → utilization converges quickly.
+
+Reported series: p5/p50/p95 of per-host CPU utilization every 30 min.
+Shape assertions: the p95–p5 spread grows after the forced fail-over and
+shrinks back once the balancer returns.
+"""
+
+from repro.analysis import Table
+from repro.workloads import ScubaFleet, SpikeSchedule, TrafficDriver
+
+from benchmarks.simharness import build_platform, host_cpu_percentiles
+
+HOURS = 24
+
+
+def run_experiment_fn():
+    platform = build_platform(
+        num_hosts=8, seed=77, containers_per_host=2, num_shards=128,
+        step_interval=60.0, stats_interval=300.0, heartbeat_interval=10.0,
+    )
+    fleet = ScubaFleet(num_jobs=300, seed=77)
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    rng = platform.engine.rng.fork("fig7")
+    for profile, spec in zip(fleet.profiles, fleet.job_specs()):
+        platform.provision(spec, partitions=8)
+        schedule = SpikeSchedule(lambda t, r=profile.base_rate_mb: r)
+        # Random 20-minute 3x input spikes while the balancer is off
+        # (hours 6–14) — the paper's "occasional spiky CPU utilization".
+        if rng.random() < 0.3:
+            start = rng.uniform(6.0, 13.5) * 3600.0
+            schedule.add(start, start + 1200.0, factor=3.0)
+        driver.add_source(spec.input_category, schedule)
+    driver.start()
+
+    samples = []  # (hour, p5, p50, p95)
+    engine = platform.engine
+
+    def disable_balancer():
+        platform.shard_manager.balancing_enabled = False
+
+    def trigger_failover():
+        # "we then manually triggered the failover on a few machines".
+        for host_id in ("host-0", "host-1", "host-2"):
+            platform.cluster.fail_host(host_id)
+
+    def recover_hosts():
+        for host_id in ("host-0", "host-1", "host-2"):
+            platform.recover_host(host_id)
+
+    def enable_balancer():
+        platform.shard_manager.balancing_enabled = True
+
+    engine.call_at(6.0 * 3600.0, disable_balancer)
+    engine.call_at(14.0 * 3600.0, trigger_failover)
+    engine.call_at(14.0 * 3600.0 + 300.0, recover_hosts)
+    engine.call_at(20.0 * 3600.0, enable_balancer)
+
+    for __ in range(HOURS * 2):
+        platform.run_for(minutes=30)
+        p5, p50, p95 = host_cpu_percentiles(platform)
+        samples.append((platform.now / 3600.0, p5, p50, p95))
+    return samples
+
+
+def spread(sample):
+    __, p5, __, p95 = sample
+    return p95 - p5
+
+
+def test_fig7_load_balancer(experiment):
+    samples = experiment(run_experiment_fn)
+
+    table = Table(["hour", "p5", "p50", "p95"])
+    for hour, p5, p50, p95 in samples:
+        table.add_row(f"{hour:.1f}", p5, p50, p95)
+    print("\n" + table.render())
+
+    # Baseline starts after the warm-up (initial scheduling + first load
+    # reports + first rebalance all settle within ~2 hours).
+    baseline = [s for s in samples if 3.0 <= s[0] <= 6.0]
+    imbalanced = [s for s in samples if 14.5 <= s[0] <= 20.0]
+    recovered = [s for s in samples if s[0] >= 22.0]
+
+    baseline_spread = max(spread(s) for s in baseline)
+    imbalanced_spread = max(spread(s) for s in imbalanced)
+    recovered_spread = max(spread(s) for s in recovered)
+
+    print(f"\nmax p95-p5 spread  baseline(LB on) : {baseline_spread:.3f}")
+    print(f"max p95-p5 spread  failover (LB off): {imbalanced_spread:.3f}")
+    print(f"max p95-p5 spread  recovered(LB on) : {recovered_spread:.3f}")
+
+    assert imbalanced_spread > baseline_spread * 1.5, (
+        "forced fail-over without the balancer must visibly imbalance hosts"
+    )
+    assert recovered_spread < imbalanced_spread * 0.7, (
+        "re-enabling the balancer must converge utilization back"
+    )

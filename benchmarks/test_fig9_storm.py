@@ -1,0 +1,107 @@
+"""Fig. 9 — cluster-level scaling during a storm (disaster drill).
+
+The paper's storm redirects a datacenter's traffic: the receiving cluster
+sees ~16 % more traffic at peak, the Auto Scaler raises the total task
+count by only ~8 % (vertical scaling absorbs part of the surge first), and
+~99.9 % of jobs stay within their SLOs; after the storm the task count
+returns to normal.
+
+Scaled here: a 40-job cluster over ~40 hours with a diurnal base load and
+a storm through the second day's peak. Half the jobs still have thread
+headroom (vertical absorbs their surge); the other half run at the thread
+limit (their surge forces horizontal scaling) — which is what produces a
+task-count increase well below the traffic increase.
+"""
+
+from repro import JobSpec
+from repro.analysis import Table
+from repro.scaler import AutoScalerConfig
+from repro.workloads import DiurnalPattern, StormSchedule, TrafficDriver
+
+from benchmarks.simharness import build_platform, total_expected_tasks
+
+NUM_JOBS = 40
+DAY = 86400.0
+STORM_START, STORM_END = 1.25 * DAY, 1.75 * DAY
+HORIZON_HOURS = 44
+
+
+def run_experiment_fn():
+    platform = build_platform(
+        num_hosts=10, seed=9, containers_per_host=4, num_shards=256,
+        stats_interval=300.0,
+        with_scaler=True,
+        scaler_config=AutoScalerConfig(interval=300.0, downscale_after=7200.0),
+    )
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    for index in range(NUM_JOBS):
+        # Base rates spread from 5 to 10 MB/s. After the scaler's initial
+        # vertical pass every job caps at 3 tasks x 2 threads x 2 MB/s =
+        # 12 MB/s, so at the normal diurnal peak (1.25x) jobs run at
+        # 52-104 % of capacity; the storm's extra 16 % pushes only the
+        # busiest fraction over the line — those scale horizontally,
+        # which is exactly Fig. 9's "task growth well below traffic
+        # growth" shape.
+        base = 5.0 + 5.0 * index / NUM_JOBS
+        pattern = DiurnalPattern(
+            base, amplitude=0.25, rng=platform.engine.rng.fork(f"j{index}")
+        )
+        storm = StormSchedule(pattern, STORM_START, STORM_END, surge=0.16)
+        platform.provision(
+            JobSpec(job_id=f"job-{index:02d}", input_category=f"cat-{index:02d}",
+                    task_count=3, threads_per_task=1,
+                    rate_per_thread_mb=2.0, task_count_limit=64),
+            partitions=64,
+        )
+        driver.add_source(f"cat-{index:02d}", storm)
+    driver.start()
+
+    samples = []  # (hour, traffic, tasks, in_storm)
+    while platform.now < HORIZON_HOURS * 3600.0:
+        platform.run_for(hours=2)
+        traffic = sum(
+            platform.metrics.latest(f"job-{i:02d}", "input_rate_mb") or 0.0
+            for i in range(NUM_JOBS)
+        )
+        tasks = total_expected_tasks(platform)
+        in_storm = STORM_START <= platform.now < STORM_END
+        samples.append((platform.now / 3600.0, traffic, tasks, in_storm))
+
+    in_slo = sum(
+        1 for i in range(NUM_JOBS)
+        if (platform.metrics.latest(f"job-{i:02d}", "time_lagged") or 0.0)
+        < 90.0
+    )
+    return samples, in_slo
+
+
+def test_fig9_storm(experiment):
+    samples, in_slo = experiment(run_experiment_fn)
+
+    table = Table(["hour", "traffic MB/s", "tasks", "storm"])
+    for hour, traffic, tasks, in_storm in samples:
+        table.add_row(f"{hour:.0f}", traffic, tasks, "*" if in_storm else "")
+    print("\n" + table.render())
+
+    normal_peak = max(t for h, t, n, s in samples if not s)
+    storm_peak = max(t for h, t, n, s in samples if s)
+    pre_storm_tasks = [n for h, t, n, s in samples if not s and h <= 30][-1]
+    storm_tasks = max(n for h, t, n, s in samples if s)
+    post_storm_tasks = samples[-1][2]
+
+    traffic_increase = storm_peak / normal_peak - 1
+    task_increase = storm_tasks / pre_storm_tasks - 1
+    print(f"\ntraffic increase at peak : {traffic_increase:.1%} (paper ~16%)")
+    print(f"task count increase      : {task_increase:.1%} (paper ~8%)")
+    print(f"jobs within SLO          : {in_slo}/{NUM_JOBS} (paper ~99.9%)")
+    print(f"tasks after storm        : {post_storm_tasks} "
+          f"(pre-storm {pre_storm_tasks})")
+
+    assert 0.10 < traffic_increase < 0.22, "the storm surge is ~16%"
+    assert 0.0 < task_increase < traffic_increase, (
+        "task growth stays below traffic growth (vertical-first scaling)"
+    )
+    assert in_slo >= NUM_JOBS - 1, "at most one job out of SLO"
+    assert post_storm_tasks <= storm_tasks, (
+        "task count returns toward normal after the storm"
+    )

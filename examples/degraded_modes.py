@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Degraded-mode tour: kill each Turbine component, data keeps flowing.
+
+The architecture decouples what to run (Job Management), where to run
+(Task Management), and how to run (Resource Management) so that "in case of
+individual Turbine component failures ... stream processing tasks continue
+to run and process data" (paper section II). This example disables one
+component at a time and verifies processing continues.
+
+Run with:  python examples/degraded_modes.py
+"""
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.workloads import TrafficDriver
+
+
+def processed_delta(platform, minutes: float) -> float:
+    """MB processed by the job over the next ``minutes``."""
+    before = platform.job_lag_mb("demo/job")
+    head_before = platform.scribe.get_category("demo").total_head()
+    platform.run_for(minutes=minutes)
+    head_after = platform.scribe.get_category("demo").total_head()
+    after = platform.job_lag_mb("demo/job")
+    return (head_after - head_before) - (after - before)
+
+
+def main() -> None:
+    platform = Turbine.create(
+        num_hosts=3, seed=17,
+        config=PlatformConfig(num_shards=32, containers_per_host=2),
+    )
+    platform.attach_scaler()
+    platform.start()
+    platform.provision(
+        JobSpec(job_id="demo/job", input_category="demo", task_count=4,
+                rate_per_thread_mb=4.0),
+    )
+    driver = TrafficDriver(platform.engine, platform.scribe)
+    driver.add_source("demo", lambda t: 6.0)
+    driver.start()
+    platform.run_for(minutes=5)
+
+    print("baseline (all components up):")
+    print(f"  processed {processed_delta(platform, 10):7.1f} MB in 10 min\n")
+
+    print("State Syncer down (Job Management degraded):")
+    platform.syncer.stop()
+    print(f"  processed {processed_delta(platform, 10):7.1f} MB in 10 min")
+    platform.syncer.start()
+    print("  -> tasks unaffected; only config changes pause\n")
+
+    print("Task Service down (Task Management degraded):")
+    platform.task_service.available = False
+    print(f"  processed {processed_delta(platform, 10):7.1f} MB in 10 min")
+    platform.task_service.available = True
+    print("  -> managers serve from cached snapshots\n")
+
+    print("Auto Scaler down (Resource Management degraded):")
+    platform.scaler.stop()
+    print(f"  processed {processed_delta(platform, 10):7.1f} MB in 10 min")
+    platform.scaler.start()
+    print("  -> no resizing, but the data plane is untouched\n")
+
+    print("Job admission halted (degraded, not dead):")
+    platform.job_service.admitting = False
+    try:
+        platform.provision(JobSpec(job_id="new/job", input_category="x"))
+    except Exception as exc:  # noqa: BLE001 — demo output
+        print(f"  provision rejected as expected: {exc}")
+    print(f"  processed {processed_delta(platform, 10):7.1f} MB in 10 min")
+    platform.job_service.admitting = True
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""A Scuba Tailer fleet: hundreds of jobs, load-balanced across a cluster.
+
+Reproduces the flavour of the paper's section VI-A at laptop scale: a fleet
+of tailer jobs whose footprints follow the published Fig. 5 distributions,
+packed onto Turbine containers by the shard balancer, with per-host
+utilization staying inside a tight band.
+
+Run with:  python examples/scuba_tailer_fleet.py
+"""
+
+from repro import PlatformConfig, Turbine
+from repro.analysis import Table
+from repro.metrics.aggregate import fraction_below, percentile
+from repro.workloads import ScubaFleet, TrafficDriver
+
+
+def main() -> None:
+    platform = Turbine.create(
+        num_hosts=8, seed=7,
+        config=PlatformConfig(
+            num_shards=256, containers_per_host=4, step_interval=30.0,
+        ),
+    )
+    platform.start()
+
+    fleet = ScubaFleet(num_jobs=200, seed=7)
+    driver = TrafficDriver(platform.engine, platform.scribe)
+    for profile, spec in zip(fleet.profiles, fleet.job_specs()):
+        platform.provision(spec)
+        driver.add_source(
+            spec.input_category, lambda t, r=profile.base_rate_mb: r
+        )
+    driver.start()
+
+    print(f"fleet: {fleet.num_jobs} jobs, {fleet.total_tasks()} tasks, "
+          f"{fleet.total_rate_mb():.1f} MB/s total traffic")
+
+    platform.run_for(hours=1)
+
+    # Fig. 5-style footprint summary.
+    cpus, memories = fleet.task_footprints()
+    print(f"\ntasks under 1 CPU core    : {fraction_below(cpus, 1.0):6.1%}"
+          f"  (paper: >80%)")
+    print(f"tasks under 2 GB memory   : {fraction_below(memories, 2.0):6.1%}"
+          f"  (paper: >99%)")
+    print(f"minimum task memory       : {min(memories):6.3f} GB"
+          f"  (paper: ~0.4 GB floor)")
+
+    # Fig. 6-style balance summary: per-host utilization spread.
+    usage = platform.host_utilization()
+    cpu_utils = [entry["cpu_util"] for entry in usage.values()]
+    tasks_per_host = [entry["tasks"] for entry in usage.values()]
+    table = Table(["metric", "p5", "p50", "p95"])
+    table.add_row("host cpu utilization",
+                  percentile(cpu_utils, 5), percentile(cpu_utils, 50),
+                  percentile(cpu_utils, 95))
+    table.add_row("tasks per host",
+                  percentile(tasks_per_host, 5), percentile(tasks_per_host, 50),
+                  percentile(tasks_per_host, 95))
+    print("\n" + table.render())
+
+    total_running = platform.running_task_count()
+    print(f"\nrunning tasks             : {total_running} / {fleet.total_tasks()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""repro — a reproduction of Turbine, Facebook's service management
+platform for stream processing (Mei et al., ICDE 2020).
+
+The public API is re-exported here; see README.md for a quickstart and
+DESIGN.md for the architecture and the experiment index.
+"""
+
+from repro.cluster.resources import ResourceVector
+from repro.jobs.configs import ConfigLevel, layer_configs
+from repro.jobs.model import JobSpec
+from repro.platform import PlatformConfig, Turbine
+from repro.types import SLO, Priority
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Turbine",
+    "PlatformConfig",
+    "JobSpec",
+    "ResourceVector",
+    "ConfigLevel",
+    "layer_configs",
+    "SLO",
+    "Priority",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+    demo        run a small end-to-end deployment and print a health report
+    growth      print the Fig. 1-style yearly growth table
+    footprints  print the Fig. 5-style task footprint summary
+    experiments list the benchmark harnesses and what they reproduce
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import JobSpec, PlatformConfig, Turbine
+    from repro.workloads import TrafficDriver
+
+    platform = Turbine.create(
+        num_hosts=args.hosts, seed=args.seed,
+        config=PlatformConfig(num_shards=64),
+    )
+    platform.attach_scaler()
+    platform.attach_health_reporter()
+    platform.start()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    for index in range(args.jobs):
+        platform.provision(
+            JobSpec(job_id=f"demo/job-{index}", input_category=f"cat-{index}",
+                    task_count=2, rate_per_thread_mb=2.0),
+        )
+        driver.add_source(f"cat-{index}", lambda t, r=1.0 + index: r)
+    driver.start()
+    platform.run_for(minutes=args.minutes)
+    print(platform.health.check_once().render())
+    return 0
+
+
+def cmd_growth(args: argparse.Namespace) -> int:
+    from repro.analysis import Table
+    from repro.workloads import ScubaFleet
+
+    fleet = ScubaFleet(args.jobs, seed=args.seed)
+    table = Table(["month", "traffic (MB/s)"])
+    for month in range(13):
+        table.add_row(month, fleet.total_rate_mb() * 2 ** (month / 12.0))
+    print(table.render())
+    return 0
+
+
+def cmd_footprints(args: argparse.Namespace) -> int:
+    from repro.analysis import format_cdf
+    from repro.metrics.aggregate import fraction_below
+    from repro.workloads import ScubaFleet
+
+    fleet = ScubaFleet(args.jobs, seed=args.seed)
+    cpus, memories = fleet.task_footprints()
+    print(format_cdf("task CPU (cores)", cpus))
+    print()
+    print(format_cdf("task memory (GB)", memories))
+    print(f"\ntasks < 1 core: {fraction_below(cpus, 1.0):.1%}  "
+          f"tasks < 2 GB: {fraction_below(memories, 2.0):.2%}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    experiments = [
+        ("test_fig1_growth.py", "Fig. 1 — yearly service growth"),
+        ("test_fig5_task_footprints.py", "Fig. 5 — task footprint CDFs"),
+        ("test_fig6_utilization.py", "Fig. 6 — per-host utilization band"),
+        ("test_fig7_load_balancer.py", "Fig. 7 — LB disable/failover/enable"),
+        ("test_fig8_backlog_recovery.py", "Fig. 8 — backlog recovery 8x"),
+        ("test_fig9_storm.py", "Fig. 9 — storm drill scaling"),
+        ("test_fig10_efficiency.py", "Fig. 10 — rollout resource savings"),
+        ("test_placement_speed.py", "100K shards placed < 2 s"),
+        ("test_sync_speed.py", "tens of thousands of simple syncs"),
+        ("test_scheduling_latency.py", "scheduling/push/failover latencies"),
+        ("test_footprint_reduction.py", "~33% migration footprint saving"),
+        ("test_config_merge.py", "Algorithm 1 merge throughput"),
+        ("test_reactive_scaler.py", "Algorithm 2 vs proactive ablation"),
+        ("test_ablation_vertical.py", "vertical-first churn ablation"),
+        ("test_ablation_patterns.py", "pattern-history flapping ablation"),
+        ("test_ablation_optimizer.py", "IR pushdown shuffle-traffic ablation"),
+    ]
+    for filename, description in experiments:
+        print(f"  benchmarks/{filename:35s} {description}")
+    print("\nrun with: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Turbine reproduction (Mei et al., ICDE 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a small deployment")
+    demo.add_argument("--hosts", type=int, default=3)
+    demo.add_argument("--jobs", type=int, default=4)
+    demo.add_argument("--minutes", type=float, default=30.0)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=cmd_demo)
+
+    growth = sub.add_parser("growth", help="Fig. 1-style growth table")
+    growth.add_argument("--jobs", type=int, default=1000)
+    growth.add_argument("--seed", type=int, default=0)
+    growth.set_defaults(func=cmd_growth)
+
+    footprints = sub.add_parser("footprints", help="Fig. 5-style CDFs")
+    footprints.add_argument("--jobs", type=int, default=5000)
+    footprints.add_argument("--seed", type=int, default=0)
+    footprints.set_defaults(func=cmd_footprints)
+
+    experiments = sub.add_parser("experiments", help="list benchmarks")
+    experiments.set_defaults(func=cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

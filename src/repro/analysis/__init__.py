@@ -1,0 +1,9 @@
+"""Analysis and reporting helpers for experiments.
+
+The benchmark harnesses use these to print the same rows and series the
+paper's tables and figures report, as plain text (no plotting dependency).
+"""
+
+from repro.analysis.report import Table, format_cdf, format_series
+
+__all__ = ["Table", "format_series", "format_cdf"]

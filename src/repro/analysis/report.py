@@ -1,0 +1,75 @@
+"""Plain-text tables and series for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.metrics.aggregate import cdf_points
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, headers: Sequence[str]) -> None:
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format_cell(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [
+            "  ".join(
+                header.ljust(width)
+                for header, width in zip(self.headers, widths)
+            ),
+            "  ".join("-" * width for width in widths),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+def format_series(
+    name: str, points: Iterable[Tuple[float, float]], time_unit: str = "h"
+) -> str:
+    """A ``time value`` listing for one figure series."""
+    divisor = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}[time_unit]
+    lines = [f"# series: {name} (time in {time_unit})"]
+    for t, value in points:
+        lines.append(f"{t / divisor:10.3f}  {value:.4f}")
+    return "\n".join(lines)
+
+
+def format_cdf(name: str, values: Sequence[float], points: int = 20) -> str:
+    """A down-sampled empirical CDF listing (value, fraction)."""
+    cdf = cdf_points(values)
+    if not cdf:
+        return f"# cdf: {name} (empty)"
+    step = max(1, len(cdf) // points)
+    sampled = cdf[::step]
+    if sampled[-1] != cdf[-1]:
+        sampled.append(cdf[-1])
+    lines = [f"# cdf: {name}"]
+    for value, fraction in sampled:
+        lines.append(f"{value:12.4f}  {fraction:.4f}")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Cluster substrate — a simulated Tupperware.
+
+The paper layers Turbine on top of Tupperware, Facebook's Borg-like cluster
+manager, which hands Turbine an allocation of Linux containers ("Turbine
+Containers") on physical hosts. This package simulates exactly that
+interface: hosts with multi-dimensional capacity, parent containers carved
+out of hosts, and failure injection (host loss, agent restart) so the
+failover protocols of section IV-C can be exercised.
+"""
+
+from repro.cluster.container import TurbineContainer
+from repro.cluster.failures import FailureInjector, FailurePlan
+from repro.cluster.host import Host
+from repro.cluster.resources import ResourceVector
+from repro.cluster.tupperware import TupperwareCluster
+
+__all__ = [
+    "ResourceVector",
+    "Host",
+    "TurbineContainer",
+    "TupperwareCluster",
+    "FailureInjector",
+    "FailurePlan",
+]

@@ -1,0 +1,114 @@
+"""Failure injection.
+
+The paper's evaluation relies on induced failures: Fig. 7 manually triggers
+fail-over on a few machines; section IV-C's protocol is exercised by host
+loss and connection failures; storms (Fig. 9) disconnect a whole datacenter.
+This module schedules those events on the simulation engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cluster.tupperware import TupperwareCluster
+from repro.sim.engine import Engine
+from repro.types import HostId, Seconds
+
+
+@dataclass
+class FailurePlan:
+    """A scripted host failure (and optional recovery)."""
+
+    host_id: HostId
+    fail_at: Seconds
+    recover_at: Optional[Seconds] = None
+
+    def __post_init__(self) -> None:
+        if self.recover_at is not None and self.recover_at <= self.fail_at:
+            raise ValueError("recover_at must be after fail_at")
+
+
+@dataclass
+class FailureRecord:
+    """What the injector actually did (for assertions and reports)."""
+
+    host_id: HostId
+    time: Seconds
+    kind: str  # "fail" | "recover"
+
+
+class FailureInjector:
+    """Schedules scripted and random host failures on the engine."""
+
+    def __init__(self, engine: Engine, cluster: TupperwareCluster) -> None:
+        self._engine = engine
+        self._cluster = cluster
+        self.history: List[FailureRecord] = []
+
+    # ------------------------------------------------------------------
+    # Scripted failures
+    # ------------------------------------------------------------------
+    def schedule(self, plan: FailurePlan) -> None:
+        """Arrange for ``plan`` to happen at its configured times."""
+        self._engine.call_at(
+            plan.fail_at, lambda: self._fail(plan.host_id)
+        )
+        if plan.recover_at is not None:
+            self._engine.call_at(
+                plan.recover_at, lambda: self._recover(plan.host_id)
+            )
+
+    def schedule_all(self, plans: List[FailurePlan]) -> None:
+        """Schedule many scripted failures at once."""
+        for plan in plans:
+            self.schedule(plan)
+
+    # ------------------------------------------------------------------
+    # Random failures
+    # ------------------------------------------------------------------
+    def enable_random_failures(
+        self,
+        mean_time_between_failures: Seconds,
+        mean_time_to_recover: Seconds,
+        label: str = "random-failures",
+    ) -> None:
+        """Fail random live hosts with exponential inter-arrival times.
+
+        Each failed host recovers after an exponential downtime. Draws come
+        from a forked RNG stream so enabling failures does not perturb other
+        randomized components.
+        """
+        if mean_time_between_failures <= 0 or mean_time_to_recover <= 0:
+            raise ValueError("failure and recovery times must be positive")
+        rng = self._engine.rng.fork(label)
+
+        def next_failure() -> None:
+            live = self._cluster.live_hosts()
+            if live:
+                host = rng.choice(live)
+                self._fail(host.host_id)
+                downtime = rng.expovariate(1.0 / mean_time_to_recover)
+                self._engine.call_in(
+                    downtime, lambda h=host.host_id: self._recover(h)
+                )
+            gap = rng.expovariate(1.0 / mean_time_between_failures)
+            self._engine.call_in(gap, next_failure)
+
+        first_gap = rng.expovariate(1.0 / mean_time_between_failures)
+        self._engine.call_in(first_gap, next_failure)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fail(self, host_id: HostId) -> None:
+        if host_id not in self._cluster.hosts:
+            return  # Host was decommissioned before the event fired.
+        self._cluster.fail_host(host_id)
+        self.history.append(FailureRecord(host_id, self._engine.now, "fail"))
+
+    def _recover(self, host_id: HostId) -> None:
+        if host_id not in self._cluster.hosts:
+            return
+        self._cluster.recover_host(host_id)
+        self.history.append(FailureRecord(host_id, self._engine.now, "recover"))

@@ -1,0 +1,166 @@
+"""Job specifications.
+
+A :class:`JobSpec` is the typed view of what a user provisions: it compiles
+down to the Provisioner-level configuration dict stored in the Job Store.
+Canonical config keys are defined here so every layer (syncer, task service,
+scaler) reads the same names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import JobStoreError
+from repro.types import SLO, JobId, Priority
+
+# ----------------------------------------------------------------------
+# Canonical configuration keys
+# ----------------------------------------------------------------------
+KEY_PACKAGE = "package"              # {"name": str, "version": str}
+KEY_TASK_COUNT = "task_count"        # int — job parallelism
+KEY_TASK_COUNT_LIMIT = "task_count_limit"  # int — scaler upper bound
+KEY_THREADS = "threads_per_task"     # int — k in equation (2)
+KEY_RESOURCES = "resources"          # per-task ResourceVector as dict
+KEY_INPUT = "input"                  # {"category": str}
+KEY_OUTPUT = "output"                # {"category": str, "ratio": float}
+KEY_CHECKPOINT_DIR = "checkpoint_dir"
+KEY_STATEFUL = "stateful"            # bool
+KEY_PRIORITY = "priority"            # int (types.Priority)
+KEY_SLO = "slo"                      # {"max_lag_seconds": float, ...}
+KEY_STATE_KEY_CARDINALITY = "state_key_cardinality"  # stateful memory model
+KEY_PERF = "perf"                    # {"rate_per_thread_mb": float} — true P
+KEY_MEMORY_OVERHEAD = "memory_overhead_gb"  # per-task constant buffer extra
+
+#: Byte quantities across the library are expressed in megabytes (MB) and
+#: rates in MB/s; the paper reports GB/s at cluster level, which is MB/s
+#: times one thousand.
+
+#: Default per-job task-count cap: "32 is the default upper limit for a
+#: job's task count for unprivileged Scuba tailers" (paper section VI-B1).
+DEFAULT_TASK_COUNT_LIMIT = 32
+
+
+@dataclass
+class JobSpec:
+    """A user-facing job definition, convertible to a provisioner config.
+
+    Attributes:
+        job_id: unique job name, e.g. ``"scuba/ads_metrics"``.
+        input_category: Scribe category the job reads.
+        task_count: initial parallelism.
+        threads_per_task: worker threads per task (``k`` in equation 2).
+        resources_per_task: reservation for each task.
+        package_name / package_version: the binary to run.
+        stateful: whether tasks keep state beyond checkpoints.
+        priority: business priority (capacity manager preemption order).
+        slo: processing-lag objective.
+        task_count_limit: scaler's upper bound on parallelism.
+        state_key_cardinality: for stateful jobs, the number of distinct
+            keys held in memory (drives the memory estimator).
+    """
+
+    job_id: JobId
+    input_category: str
+    task_count: int = 1
+    threads_per_task: int = 1
+    resources_per_task: ResourceVector = field(
+        default_factory=lambda: ResourceVector(cpu=0.5, memory_gb=0.5)
+    )
+    package_name: str = "stream_engine"
+    package_version: str = "1.0"
+    stateful: bool = False
+    priority: Priority = Priority.NORMAL
+    slo: SLO = field(default_factory=SLO)
+    task_count_limit: int = DEFAULT_TASK_COUNT_LIMIT
+    output_category: str = ""
+    #: Output bytes per input byte (selectivity/aggregation reduction of
+    #: the job's operator chain); only meaningful with an output category.
+    output_ratio: float = 1.0
+    state_key_cardinality: int = 0
+    #: True maximum stable processing rate of one thread, in MB/s — the
+    #: ground-truth ``P`` of equation (2). The simulated runtime enforces
+    #: it; the scaler only ever sees its own (adjustable) estimate.
+    rate_per_thread_mb: float = 2.0
+    #: Extra constant per-task memory (GB) modelling message-size-driven
+    #: buffering: "memory consumption is proportional to the average
+    #: message size" (paper section VI).
+    memory_overhead_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_thread_mb <= 0:
+            raise JobStoreError(
+                f"rate_per_thread_mb must be positive: {self.rate_per_thread_mb}"
+            )
+        if self.output_ratio < 0:
+            raise JobStoreError(
+                f"output_ratio must be non-negative: {self.output_ratio}"
+            )
+        if self.output_category and self.output_category == self.input_category:
+            raise JobStoreError(
+                f"job {self.job_id} would write to its own input category"
+            )
+        if not self.job_id:
+            raise JobStoreError("job_id must be non-empty")
+        if self.task_count < 1:
+            raise JobStoreError(f"task_count must be >= 1: {self.task_count}")
+        if self.threads_per_task < 1:
+            raise JobStoreError(
+                f"threads_per_task must be >= 1: {self.threads_per_task}"
+            )
+        if self.task_count_limit < 1:
+            raise JobStoreError(
+                f"task_count_limit must be >= 1: {self.task_count_limit}"
+            )
+        if self.stateful and self.state_key_cardinality < 0:
+            raise JobStoreError("state_key_cardinality must be non-negative")
+
+    def to_provisioner_config(self) -> Dict[str, Any]:
+        """The Provisioner-level configuration dict for this spec."""
+        config: Dict[str, Any] = {
+            KEY_PACKAGE: {
+                "name": self.package_name,
+                "version": self.package_version,
+            },
+            KEY_TASK_COUNT: self.task_count,
+            KEY_TASK_COUNT_LIMIT: self.task_count_limit,
+            KEY_THREADS: self.threads_per_task,
+            KEY_RESOURCES: self.resources_per_task.as_dict(),
+            KEY_INPUT: {"category": self.input_category},
+            KEY_CHECKPOINT_DIR: f"/checkpoints/{self.job_id}",
+            KEY_STATEFUL: self.stateful,
+            KEY_PRIORITY: int(self.priority),
+            KEY_SLO: {
+                "max_lag_seconds": self.slo.max_lag_seconds,
+                "recovery_seconds": self.slo.recovery_seconds,
+            },
+            KEY_PERF: {"rate_per_thread_mb": self.rate_per_thread_mb},
+        }
+        if self.memory_overhead_gb:
+            config[KEY_MEMORY_OVERHEAD] = self.memory_overhead_gb
+        if self.output_category:
+            config[KEY_OUTPUT] = {
+                "category": self.output_category,
+                "ratio": self.output_ratio,
+            }
+        if self.stateful:
+            config[KEY_STATE_KEY_CARDINALITY] = self.state_key_cardinality
+        return config
+
+
+def base_config() -> Dict[str, Any]:
+    """The Base-level configuration shared by all jobs (Table I).
+
+    "The Base Configuration defines a collection of common settings — e.g.,
+    package name, version number, and checkpoint directory."
+    """
+    return {
+        KEY_PACKAGE: {"name": "stream_engine", "version": "1.0"},
+        KEY_THREADS: 1,
+        KEY_TASK_COUNT: 1,
+        KEY_TASK_COUNT_LIMIT: DEFAULT_TASK_COUNT_LIMIT,
+        KEY_STATEFUL: False,
+        KEY_PRIORITY: int(Priority.NORMAL),
+        KEY_SLO: {"max_lag_seconds": 90.0, "recovery_seconds": 3600.0},
+    }

@@ -1,0 +1,238 @@
+"""The Job Store: expected and running configuration tables (Table I).
+
+The store keeps, for every job:
+
+* four *expected* configuration levels (Base, Provisioner, Scaler, Oncall),
+  each independently versioned so writers can do optimistic
+  read-modify-write ("the write operation compares the version of the
+  expected job configuration to make sure the configuration is the same
+  version based on which the update decision is made", section III-A);
+* one *running* configuration — the settings the cluster is actually
+  executing, committed only by the State Syncer after a plan succeeds.
+
+Durability is modelled with JSON snapshots: :meth:`dump_snapshot` /
+:meth:`load_snapshot` round-trip the entire store, which the crash-recovery
+tests use to prove committed state survives a restart.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import JobStoreError, VersionConflictError
+from repro.jobs.configs import Config, ConfigLevel, merge_levels, validate_config
+from repro.types import JobId, JobState
+
+
+@dataclass
+class VersionedConfig:
+    """A configuration dict plus its optimistic-concurrency version."""
+
+    config: Config = field(default_factory=dict)
+    version: int = 0
+
+
+class JobStore:
+    """In-memory versioned store of expected and running job configurations."""
+
+    def __init__(self) -> None:
+        self._expected: Dict[JobId, Dict[ConfigLevel, VersionedConfig]] = {}
+        self._running: Dict[JobId, VersionedConfig] = {}
+        self._states: Dict[JobId, JobState] = {}
+        #: Jobs whose running config may not reflect cluster reality: a
+        #: plan failed after taking actions. The syncer must re-execute a
+        #: full synchronization even when expected == running.
+        self._dirty: set = set()
+
+    # ------------------------------------------------------------------
+    # Job lifecycle
+    # ------------------------------------------------------------------
+    def create_job(self, job_id: JobId) -> None:
+        """Register a job with empty config levels."""
+        if job_id in self._expected:
+            raise JobStoreError(f"job {job_id} already exists")
+        self._expected[job_id] = {
+            level: VersionedConfig() for level in ConfigLevel
+        }
+        self._running[job_id] = VersionedConfig()
+        self._states[job_id] = JobState.RUNNING
+
+    def delete_job(self, job_id: JobId) -> None:
+        """Remove a job entirely."""
+        self._require_job(job_id)
+        del self._expected[job_id]
+        del self._running[job_id]
+        self._states[job_id] = JobState.DELETED
+
+    def job_ids(self) -> List[JobId]:
+        """All live jobs, sorted for deterministic iteration."""
+        return sorted(self._expected)
+
+    def exists(self, job_id: JobId) -> bool:
+        return job_id in self._expected
+
+    def state_of(self, job_id: JobId) -> JobState:
+        """Lifecycle state; DELETED jobs are remembered for audit."""
+        try:
+            return self._states[job_id]
+        except KeyError:
+            raise JobStoreError(f"unknown job {job_id}") from None
+
+    def set_state(self, job_id: JobId, state: JobState) -> None:
+        self._require_job(job_id)
+        self._states[job_id] = state
+
+    # ------------------------------------------------------------------
+    # Expected configurations
+    # ------------------------------------------------------------------
+    def read_expected(
+        self, job_id: JobId, level: ConfigLevel
+    ) -> VersionedConfig:
+        """A copy of one expected level (config + version)."""
+        self._require_job(job_id)
+        stored = self._expected[job_id][level]
+        return VersionedConfig(dict(stored.config), stored.version)
+
+    def write_expected(
+        self,
+        job_id: JobId,
+        level: ConfigLevel,
+        config: Config,
+        expected_version: int,
+    ) -> int:
+        """Compare-and-swap write of one expected level.
+
+        Succeeds only when ``expected_version`` matches the stored version;
+        returns the new version. This serializes concurrent writers to the
+        same level (e.g. two oncalls editing the oncall config).
+        """
+        self._require_job(job_id)
+        validate_config(config)
+        stored = self._expected[job_id][level]
+        if stored.version != expected_version:
+            raise VersionConflictError(
+                f"job {job_id} level {level.name}: expected version "
+                f"{expected_version}, found {stored.version}"
+            )
+        stored.config = json.loads(json.dumps(config))
+        stored.version += 1
+        return stored.version
+
+    def merged_expected(self, job_id: JobId) -> Config:
+        """All expected levels merged by precedence (Algorithm 1)."""
+        self._require_job(job_id)
+        return merge_levels(
+            {level: vc.config for level, vc in self._expected[job_id].items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Running configuration
+    # ------------------------------------------------------------------
+    def read_running(self, job_id: JobId) -> VersionedConfig:
+        """A copy of the running configuration."""
+        self._require_job(job_id)
+        stored = self._running[job_id]
+        return VersionedConfig(dict(stored.config), stored.version)
+
+    def commit_running(self, job_id: JobId, config: Config) -> int:
+        """Replace the running configuration (State Syncer only).
+
+        Commit is the *last* step of a synchronization: it happens "only
+        after the plan is successfully executed" (section III-B), which is
+        what makes updates atomic from the cluster's point of view.
+        """
+        self._require_job(job_id)
+        validate_config(config)
+        stored = self._running[job_id]
+        stored.config = json.loads(json.dumps(config))
+        stored.version += 1
+        self._dirty.discard(job_id)
+        return stored.version
+
+    # ------------------------------------------------------------------
+    # Dirtiness (torn-plan) tracking
+    # ------------------------------------------------------------------
+    def mark_dirty(self, job_id: JobId) -> None:
+        """Flag that the running config may not match cluster reality.
+
+        Set by the State Syncer when a plan fails *after* performing
+        actions: the aborted plan may have stopped tasks, so even a
+        reverted expected config must trigger a full resynchronization.
+        """
+        self._require_job(job_id)
+        self._dirty.add(job_id)
+
+    def is_dirty(self, job_id: JobId) -> bool:
+        self._require_job(job_id)
+        return job_id in self._dirty
+
+    # ------------------------------------------------------------------
+    # Durability snapshots
+    # ------------------------------------------------------------------
+    def dump_snapshot(self) -> str:
+        """Serialize the whole store to a JSON string."""
+        payload = {
+            "expected": {
+                job_id: {
+                    level.name: {"config": vc.config, "version": vc.version}
+                    for level, vc in levels.items()
+                }
+                for job_id, levels in self._expected.items()
+            },
+            "running": {
+                job_id: {"config": vc.config, "version": vc.version}
+                for job_id, vc in self._running.items()
+            },
+            "states": {
+                job_id: state.value for job_id, state in self._states.items()
+            },
+            "dirty": sorted(self._dirty),
+        }
+        return json.dumps(payload)
+
+    def save(self, path) -> None:
+        """Write a durable snapshot to ``path`` (the production Job Store
+        is MySQL-backed; a JSON file plays that role here)."""
+        from pathlib import Path
+
+        Path(path).write_text(self.dump_snapshot(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path) -> "JobStore":
+        """Restore a store from a :meth:`save` file."""
+        from pathlib import Path
+
+        return cls.load_snapshot(Path(path).read_text(encoding="utf-8"))
+
+    @classmethod
+    def load_snapshot(cls, snapshot: str) -> "JobStore":
+        """Reconstruct a store from :meth:`dump_snapshot` output."""
+        payload = json.loads(snapshot)
+        store = cls()
+        for job_id, levels in payload["expected"].items():
+            store._expected[job_id] = {
+                ConfigLevel[name]: VersionedConfig(
+                    entry["config"], entry["version"]
+                )
+                for name, entry in levels.items()
+            }
+        for job_id, entry in payload["running"].items():
+            store._running[job_id] = VersionedConfig(
+                entry["config"], entry["version"]
+            )
+        for job_id, value in payload["states"].items():
+            store._states[job_id] = JobState(value)
+        store._dirty = set(payload.get("dirty", []))
+        return store
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_job(self, job_id: JobId) -> None:
+        if job_id not in self._expected:
+            raise JobStoreError(f"unknown job {job_id}")
+
+    def __repr__(self) -> str:
+        return f"JobStore(jobs={len(self._expected)})"

@@ -1,0 +1,226 @@
+"""The State Syncer.
+
+"The State Syncer performs synchronization between the expected and running
+job configurations every 30 seconds. In each round for every job, it merges
+all levels of the expected configurations according to their precedence,
+compares the result with the running job configurations, generates an
+Execution Plan if any difference is detected, and carries out the plan."
+(paper section III-B).
+
+ACIDF properties and where they live here:
+
+* **Atomicity** — :meth:`_sync_job` commits the running config only after
+  the whole plan executed.
+* **Consistency** — the expected view is the precedence merge, and writers
+  went through the Job Service's CAS.
+* **Isolation** — one plan per job per round; complex syncs serialize a
+  job's structural changes.
+* **Durability** — committed running configs survive syncer crashes
+  (the store outlives the syncer; see the crash tests).
+* **Fault-tolerance** — a failed plan is aborted and retried next round;
+  after ``quarantine_after`` consecutive failures the job is quarantined
+  and an alert is raised for the oncall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import SyncError
+from repro.jobs.configs import config_diff
+from repro.jobs.plan import ExecutionPlan, TaskActuator, build_plan
+from repro.jobs.store import JobStore
+from repro.sim.engine import Engine, Timer
+from repro.types import JobId, JobState, Seconds
+
+#: "The State Syncer performs synchronization ... every 30 seconds."
+SYNC_INTERVAL: Seconds = 30.0
+
+#: Consecutive failures before a job is quarantined ("If it fails for
+#: multiple times, the State Syncer quarantines the job and creates an
+#: alert for the oncall to investigate").
+DEFAULT_QUARANTINE_AFTER = 3
+
+
+@dataclass
+class SyncReport:
+    """What one synchronization round did (for tests and dashboards)."""
+
+    time: Seconds
+    simple_synced: List[JobId] = field(default_factory=list)
+    complex_synced: List[JobId] = field(default_factory=list)
+    failed: List[JobId] = field(default_factory=list)
+    quarantined: List[JobId] = field(default_factory=list)
+
+    @property
+    def total_synced(self) -> int:
+        return len(self.simple_synced) + len(self.complex_synced)
+
+
+class StateSyncer:
+    """Drives running configs toward expected configs, ACIDF-style."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        actuator: TaskActuator,
+        engine: Optional[Engine] = None,
+        interval: Seconds = SYNC_INTERVAL,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+    ) -> None:
+        self._store = store
+        self._actuator = actuator
+        self._engine = engine
+        self._interval = interval
+        self._quarantine_after = quarantine_after
+        self._failure_counts: Dict[JobId, int] = {}
+        self._timer: Optional[Timer] = None
+        self.rounds: List[SyncReport] = []
+        #: Oncall alerts raised on quarantine, as ``(time, job_id, reason)``.
+        self.alerts: List[tuple] = []
+        #: Callbacks invoked with (job_id, reason) when a job is quarantined.
+        self.on_quarantine: List[Callable[[JobId, str], None]] = []
+
+    # ------------------------------------------------------------------
+    # Periodic operation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic 30-second synchronization timer."""
+        if self._engine is None:
+            raise SyncError("cannot start a syncer without an engine")
+        if self._timer is not None:
+            return
+        self._timer = self._engine.every(
+            self._interval, self.sync_once, name="state-syncer"
+        )
+
+    def stop(self) -> None:
+        """Stop the periodic timer (simulates a syncer crash)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    @property
+    def now(self) -> Seconds:
+        return self._engine.now if self._engine is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def sync_once(self) -> SyncReport:
+        """Run one synchronization round over every non-quarantined job.
+
+        Simple synchronizations are batched (collected first, committed
+        together); complex ones run individually. This mirrors the paper's
+        "batches the simple synchronizations and parallelize[s] the complex
+        ones".
+        """
+        report = SyncReport(time=self.now)
+        simple_plans: List[ExecutionPlan] = []
+        complex_plans: List[ExecutionPlan] = []
+
+        self._collect_deleted_jobs(report)
+        for job_id in self._store.job_ids():
+            if self._store.state_of(job_id) == JobState.QUARANTINED:
+                continue
+            plan = self._plan_for(job_id)
+            if plan.is_empty:
+                continue
+            if plan.complex:
+                complex_plans.append(plan)
+            else:
+                simple_plans.append(plan)
+
+        for plan in simple_plans:
+            self._run_plan(plan, report)
+        for plan in complex_plans:
+            self._run_plan(plan, report)
+
+        self.rounds.append(report)
+        return report
+
+    def _collect_deleted_jobs(self, report: SyncReport) -> None:
+        """Garbage-collect cluster state of jobs deleted from the store.
+
+        A defensive sweep: even if a deprovision call died between
+        deleting the store entry and stopping the tasks, the next round
+        converges the cluster to "job gone" — the same eventual-delivery
+        guarantee configuration changes get.
+        """
+        live = set(self._store.job_ids())
+        orphaned = [
+            job_id
+            for job_id in self._known_running_jobs()
+            if job_id not in live
+        ]
+        for job_id in orphaned:
+            try:
+                self._actuator.stop_tasks(job_id)
+                report.simple_synced.append(job_id)
+            except Exception:  # noqa: BLE001 — retried next round
+                report.failed.append(job_id)
+
+    def _known_running_jobs(self) -> List[JobId]:
+        """Jobs the actuator side still knows about (best effort)."""
+        job_ids = getattr(self._actuator, "known_job_ids", None)
+        if callable(job_ids):
+            return job_ids()
+        return []
+
+    def _plan_for(self, job_id: JobId) -> ExecutionPlan:
+        expected = self._store.merged_expected(job_id)
+        running = self._store.read_running(job_id).config
+        diff = config_diff(running, expected)
+        if not diff and self._store.is_dirty(job_id):
+            # A previous plan aborted mid-flight: the running config may
+            # not match cluster reality even though it equals the expected
+            # config. Force a full (complex) resynchronization.
+            diff = {"task_count": expected.get("task_count", 1)}
+        return build_plan(job_id, running, expected, diff)
+
+    def _run_plan(self, plan: ExecutionPlan, report: SyncReport) -> None:
+        job_id = plan.job_id
+        try:
+            plan.execute(self._actuator)
+        except Exception as exc:  # noqa: BLE001 — any actuator failure aborts
+            # The aborted plan may have already acted on the cluster
+            # (e.g. stopped tasks): mark the job so a later round resyncs
+            # even if the expected config is reverted in the meantime.
+            self._store.mark_dirty(job_id)
+            self._record_failure(job_id, str(exc), report)
+            return
+        # Atomic commit: only reached when every action succeeded.
+        self._store.commit_running(job_id, plan.target_config)
+        self._failure_counts.pop(job_id, None)
+        if plan.complex:
+            report.complex_synced.append(job_id)
+        else:
+            report.simple_synced.append(job_id)
+
+    def _record_failure(
+        self, job_id: JobId, reason: str, report: SyncReport
+    ) -> None:
+        count = self._failure_counts.get(job_id, 0) + 1
+        self._failure_counts[job_id] = count
+        report.failed.append(job_id)
+        if count >= self._quarantine_after:
+            self._store.set_state(job_id, JobState.QUARANTINED)
+            report.quarantined.append(job_id)
+            self.alerts.append((self.now, job_id, reason))
+            for callback in self.on_quarantine:
+                callback(job_id, reason)
+
+    # ------------------------------------------------------------------
+    # Oncall operations
+    # ------------------------------------------------------------------
+    def release_quarantine(self, job_id: JobId) -> None:
+        """Oncall action: put a quarantined job back under management."""
+        if self._store.state_of(job_id) != JobState.QUARANTINED:
+            raise SyncError(f"job {job_id} is not quarantined")
+        self._store.set_state(job_id, JobState.RUNNING)
+        self._failure_counts.pop(job_id, None)
+
+    def failure_count(self, job_id: JobId) -> int:
+        """Consecutive plan failures for a job (0 when healthy)."""
+        return self._failure_counts.get(job_id, 0)

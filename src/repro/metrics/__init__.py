@@ -1,0 +1,23 @@
+"""Metrics substrate — a simulated metric collection system.
+
+Turbine's detectors, estimators, and pattern analyzer all read from
+Facebook's metric collection pipeline (task managers "post them via the
+metric collection system to the Auto Scaler Symptom Detector", paper
+section V-A; the pattern analyzer "records per minute workload metrics
+during the last 14 days", section V-C). This package provides the
+time-series store those components read and the aggregation helpers
+(means, percentiles, CDFs) the experiments report.
+"""
+
+from repro.metrics.aggregate import cdf_points, mean, percentile, stdev
+from repro.metrics.series import TimeSeries
+from repro.metrics.store import MetricStore
+
+__all__ = [
+    "TimeSeries",
+    "MetricStore",
+    "mean",
+    "stdev",
+    "percentile",
+    "cdf_points",
+]

@@ -1,0 +1,95 @@
+"""A single time series with retention and windowed queries."""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from repro.metrics.aggregate import mean
+from repro.types import Seconds
+
+
+class TimeSeries:
+    """Append-only ``(time, value)`` samples with a retention horizon.
+
+    Samples must arrive in non-decreasing time order (the simulation clock
+    guarantees this). Old samples beyond ``retention`` are trimmed lazily on
+    append, bounding memory for long runs — the pattern analyzer keeps 14
+    days, everything else far less.
+    """
+
+    def __init__(self, retention: Optional[Seconds] = None) -> None:
+        if retention is not None and retention <= 0:
+            raise ValueError(f"retention must be positive: {retention}")
+        self.retention = retention
+        self._times: List[Seconds] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time: Seconds, value: float) -> None:
+        """Append a sample at ``time``."""
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"samples must be time-ordered: {time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(float(value))
+        self._trim(time)
+
+    def _trim(self, now: Seconds) -> None:
+        if self.retention is None:
+            return
+        horizon = now - self.retention
+        cut = bisect.bisect_left(self._times, horizon)
+        if cut:
+            del self._times[:cut]
+            del self._values[:cut]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[float]:
+        """The most recent value, or ``None`` if empty."""
+        return self._values[-1] if self._values else None
+
+    def latest_time(self) -> Optional[Seconds]:
+        """The most recent sample time, or ``None`` if empty."""
+        return self._times[-1] if self._times else None
+
+    def window(self, start: Seconds, end: Seconds) -> List[Tuple[Seconds, float]]:
+        """Samples with ``start <= time <= end``."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def values_in(self, start: Seconds, end: Seconds) -> List[float]:
+        """Just the values with ``start <= time <= end``."""
+        lo = bisect.bisect_left(self._times, start)
+        hi = bisect.bisect_right(self._times, end)
+        return self._values[lo:hi]
+
+    def average_over(self, duration: Seconds, now: Seconds) -> Optional[float]:
+        """Mean of samples in the trailing ``duration`` window, or ``None``.
+
+        This implements readings like "average memory over the last 10
+        minutes" (paper section IV-B) and "average input rate in the last 30
+        minutes" (section V-C).
+        """
+        values = self.values_in(now - duration, now)
+        if not values:
+            return None
+        return mean(values)
+
+    def max_over(self, duration: Seconds, now: Seconds) -> Optional[float]:
+        """Max of samples in the trailing window, or ``None`` (peak usage)."""
+        values = self.values_in(now - duration, now)
+        return max(values) if values else None
+
+    def all_points(self) -> List[Tuple[Seconds, float]]:
+        """Every retained sample (mostly for reports and tests)."""
+        return list(zip(self._times, self._values))
+
+    def __repr__(self) -> str:
+        return f"TimeSeries(samples={len(self)}, retention={self.retention})"

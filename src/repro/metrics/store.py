@@ -1,0 +1,66 @@
+"""The metric store: named series per (entity, metric) pair.
+
+Entities are free-form strings — job ids, task ids, container ids, host ids
+— so one store serves every layer. Series are created on first write with
+the store's default retention; callers with special needs (the pattern
+analyzer's 14 days) pass an explicit retention at creation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.series import TimeSeries
+from repro.types import Seconds
+
+#: Series retention when none is specified: two days, enough for every
+#: trailing-window read in the paper except the pattern analyzer's.
+DEFAULT_RETENTION: Seconds = 2 * 24 * 3600.0
+
+
+class MetricStore:
+    """All time series in one cluster."""
+
+    def __init__(self, default_retention: Seconds = DEFAULT_RETENTION) -> None:
+        self.default_retention = default_retention
+        self._series: Dict[Tuple[str, str], TimeSeries] = {}
+
+    def series(
+        self,
+        entity: str,
+        metric: str,
+        retention: Optional[Seconds] = None,
+    ) -> TimeSeries:
+        """The series for ``(entity, metric)``, created on first use."""
+        key = (entity, metric)
+        if key not in self._series:
+            self._series[key] = TimeSeries(
+                retention if retention is not None else self.default_retention
+            )
+        return self._series[key]
+
+    def record(self, entity: str, metric: str, time: Seconds, value: float) -> None:
+        """Append one sample."""
+        self.series(entity, metric).record(time, value)
+
+    def latest(self, entity: str, metric: str) -> Optional[float]:
+        """Most recent value, or ``None`` if the series is empty/missing."""
+        key = (entity, metric)
+        if key not in self._series:
+            return None
+        return self._series[key].latest()
+
+    def entities_with(self, metric: str) -> List[str]:
+        """All entities that have ever reported ``metric`` (sorted)."""
+        return sorted(
+            entity for entity, name in self._series if name == metric
+        )
+
+    def drop_entity(self, entity: str) -> None:
+        """Forget every series of a deleted entity."""
+        stale = [key for key in self._series if key[0] == entity]
+        for key in stale:
+            del self._series[key]
+
+    def __repr__(self) -> str:
+        return f"MetricStore(series={len(self._series)})"

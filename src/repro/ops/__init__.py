@@ -1,0 +1,19 @@
+"""Operations tooling: health reporting, alerting, dashboards.
+
+"A significant part of large-scale distributed systems is about operations
+at scale: scalable monitoring, alerting, and diagnosis. Aside from job
+level monitoring and alert dashboards, Turbine has several tools to report
+the percentage of tasks not running, lagging, or unhealthy." (paper
+section VII).
+"""
+
+from repro.ops.health import Alert, HealthReport, HealthReporter
+from repro.ops.timeline import IncidentTimeline, TimelineEvent
+
+__all__ = [
+    "HealthReport",
+    "HealthReporter",
+    "Alert",
+    "IncidentTimeline",
+    "TimelineEvent",
+]

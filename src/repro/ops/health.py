@@ -1,0 +1,207 @@
+"""Cluster health reporting and alerting.
+
+The reporter computes the paper's three headline health percentages —
+tasks not running, jobs lagging, jobs unhealthy (quarantined or OOMing) —
+plus capacity utilization, and raises alerts when thresholds are crossed.
+Each alert carries a runbook hint, mirroring the paper's "comprehensive
+runbook, dashboards, and tools that drill down into the root cause".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.report import Table
+from repro.jobs.service import JobService
+from repro.metrics.store import MetricStore
+from repro.sim.engine import Engine, Timer
+from repro.tasks.service import TaskService
+from repro.tasks.shard_manager import ShardManager
+from repro.types import JobState, Seconds, TaskState
+
+
+@dataclass
+class Alert:
+    """One operator alert with a runbook hint."""
+
+    time: Seconds
+    severity: str  # "warn" | "page"
+    what: str
+    runbook: str
+
+
+@dataclass
+class HealthReport:
+    """A point-in-time snapshot of cluster health."""
+
+    time: Seconds
+    jobs_total: int = 0
+    jobs_lagging: int = 0
+    jobs_quarantined: int = 0
+    jobs_with_oom: int = 0
+    tasks_expected: int = 0
+    tasks_running: int = 0
+    containers_live: int = 0
+    failovers_last_hour: int = 0
+
+    @property
+    def pct_tasks_not_running(self) -> float:
+        if self.tasks_expected == 0:
+            return 0.0
+        missing = max(0, self.tasks_expected - self.tasks_running)
+        return missing / self.tasks_expected
+
+    @property
+    def pct_jobs_lagging(self) -> float:
+        return self.jobs_lagging / self.jobs_total if self.jobs_total else 0.0
+
+    @property
+    def pct_jobs_unhealthy(self) -> float:
+        if not self.jobs_total:
+            return 0.0
+        return (self.jobs_quarantined + self.jobs_with_oom) / self.jobs_total
+
+    def render(self) -> str:
+        table = Table(["health metric", "value"])
+        table.add_row("jobs managed", self.jobs_total)
+        table.add_row("tasks expected / running",
+                      f"{self.tasks_expected} / {self.tasks_running}")
+        table.add_row("tasks not running", f"{self.pct_tasks_not_running:.1%}")
+        table.add_row("jobs lagging", f"{self.pct_jobs_lagging:.1%}")
+        table.add_row("jobs unhealthy", f"{self.pct_jobs_unhealthy:.1%}")
+        table.add_row("quarantined jobs", self.jobs_quarantined)
+        table.add_row("live containers", self.containers_live)
+        table.add_row("failovers (last hour)", self.failovers_last_hour)
+        return table.render()
+
+
+@dataclass
+class HealthThresholds:
+    """Alerting thresholds."""
+
+    tasks_not_running_warn: float = 0.01
+    tasks_not_running_page: float = 0.10
+    jobs_lagging_warn: float = 0.02
+    jobs_lagging_page: float = 0.20
+    quarantined_page: int = 1
+
+
+class HealthReporter:
+    """Computes health reports and raises threshold alerts."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        job_service: JobService,
+        task_service: TaskService,
+        shard_manager: ShardManager,
+        metrics: MetricStore,
+        thresholds: Optional[HealthThresholds] = None,
+        interval: Seconds = 300.0,
+    ) -> None:
+        self._engine = engine
+        self._service = job_service
+        self._task_service = task_service
+        self._shard_manager = shard_manager
+        self._metrics = metrics
+        self.thresholds = thresholds or HealthThresholds()
+        self._interval = interval
+        self.reports: List[HealthReport] = []
+        self.alerts: List[Alert] = []
+        self._timer: Optional[Timer] = None
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self._engine.every(
+                self._interval, self.check_once, name="health-reporter"
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # One round
+    # ------------------------------------------------------------------
+    def report(self) -> HealthReport:
+        """Build a health snapshot from the live services."""
+        now = self._engine.now
+        report = HealthReport(time=now)
+
+        job_ids = self._service.job_ids()
+        report.jobs_total = len(job_ids)
+        for job_id in job_ids:
+            state = self._service.store.state_of(job_id)
+            if state == JobState.QUARANTINED:
+                report.jobs_quarantined += 1
+            if state != JobState.RUNNING:
+                continue
+            slo = self._service.expected_config(job_id).get("slo", {}).get(
+                "max_lag_seconds", 90.0
+            )
+            lag = self._metrics.latest(job_id, "time_lagged") or 0.0
+            if lag > slo:
+                report.jobs_lagging += 1
+            oom = self._metrics.series(job_id, "oom_events")
+            if oom.values_in(now - 600.0, now):
+                report.jobs_with_oom += 1
+
+        report.tasks_expected = len(self._task_service_snapshot())
+        managers = self._shard_manager.live_managers()
+        report.containers_live = len(managers)
+        report.tasks_running = sum(
+            1
+            for manager in managers
+            for task in manager.tasks.values()
+            if task.state == TaskState.RUNNING
+        )
+        report.failovers_last_hour = sum(
+            1
+            for event in self._shard_manager.failover_events
+            if now - event.time <= 3600.0
+        )
+        return report
+
+    def _task_service_snapshot(self):
+        try:
+            return self._task_service.snapshot()
+        except Exception:  # noqa: BLE001 - degraded task service
+            return {}
+
+    def check_once(self) -> HealthReport:
+        """Build a report, record it, and raise any threshold alerts."""
+        report = self.report()
+        self.reports.append(report)
+        self._raise_alerts(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Alerting
+    # ------------------------------------------------------------------
+    def _raise_alerts(self, report: HealthReport) -> None:
+        t = self.thresholds
+        if report.pct_tasks_not_running >= t.tasks_not_running_page:
+            self._alert("page",
+                        f"{report.pct_tasks_not_running:.0%} of tasks not running",
+                        "check Shard Manager failovers and host availability")
+        elif report.pct_tasks_not_running >= t.tasks_not_running_warn:
+            self._alert("warn",
+                        f"{report.pct_tasks_not_running:.1%} of tasks not running",
+                        "verify recent syncs and container churn")
+        if report.pct_jobs_lagging >= t.jobs_lagging_page:
+            self._alert("page",
+                        f"{report.pct_jobs_lagging:.0%} of jobs lagging",
+                        "suspect a shared dependency; do not mass-scale")
+        elif report.pct_jobs_lagging >= t.jobs_lagging_warn:
+            self._alert("warn",
+                        f"{report.pct_jobs_lagging:.1%} of jobs lagging",
+                        "check Auto Scaler actions and untriaged reports")
+        if report.jobs_quarantined >= t.quarantined_page:
+            self._alert("page",
+                        f"{report.jobs_quarantined} job(s) quarantined",
+                        "inspect State Syncer alerts; release after fixing")
+
+    def _alert(self, severity: str, what: str, runbook: str) -> None:
+        self.alerts.append(Alert(self._engine.now, severity, what, runbook))

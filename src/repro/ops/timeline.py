@@ -1,0 +1,138 @@
+"""Incident timelines: one chronological view across every service.
+
+During an incident the operator's first question is "what happened, in
+order?" — the answer is scattered across the State Syncer's alerts, the
+Auto Scaler's actions and untriaged reports, the Shard Manager's failover
+events, the Capacity Manager's events, and the failure injector's record.
+This module merges them into a single ordered timeline (the paper's
+section VII "tools that drill down into the root cause of the problem").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.report import Table
+from repro.types import Seconds
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One event in the merged operator timeline."""
+
+    time: Seconds
+    source: str    # which service reported it
+    kind: str      # short machine-readable tag
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.1f}s] {self.source:15s} {self.kind:18s} {self.detail}"
+
+
+class IncidentTimeline:
+    """Collects events from a platform into one sorted view."""
+
+    def __init__(self, platform) -> None:
+        self._platform = platform
+
+    def events(
+        self,
+        since: Seconds = 0.0,
+        until: Optional[Seconds] = None,
+    ) -> List[TimelineEvent]:
+        """Every known event in ``[since, until]``, time-ordered."""
+        if until is None:
+            until = self._platform.now
+        collected: List[TimelineEvent] = []
+        collected.extend(self._syncer_events())
+        collected.extend(self._scaler_events())
+        collected.extend(self._failover_events())
+        collected.extend(self._capacity_events())
+        collected.extend(self._failure_events())
+        collected.extend(self._health_events())
+        return sorted(
+            (event for event in collected if since <= event.time <= until),
+            key=lambda event: (event.time, event.source, event.detail),
+        )
+
+    def render(self, since: Seconds = 0.0, until: Optional[Seconds] = None) -> str:
+        """A fixed-width text timeline."""
+        table = Table(["t (s)", "source", "kind", "detail"])
+        for event in self.events(since, until):
+            table.add_row(
+                f"{event.time:.1f}", event.source, event.kind, event.detail
+            )
+        return table.render()
+
+    # ------------------------------------------------------------------
+    # Collectors (each tolerant of a missing/unattached service)
+    # ------------------------------------------------------------------
+    def _syncer_events(self) -> List[TimelineEvent]:
+        syncer = getattr(self._platform, "syncer", None)
+        if syncer is None:
+            return []
+        return [
+            TimelineEvent(time, "state-syncer", "quarantine",
+                          f"{job_id}: {reason}")
+            for time, job_id, reason in syncer.alerts
+        ]
+
+    def _scaler_events(self) -> List[TimelineEvent]:
+        scaler = getattr(self._platform, "scaler", None)
+        if scaler is None or not hasattr(scaler, "actions"):
+            return []
+        events = [
+            TimelineEvent(
+                action.time, "auto-scaler", action.action.value,
+                f"{action.job_id}"
+                + (f" -> {action.task_count} tasks" if action.task_count else ""),
+            )
+            for action in scaler.actions
+        ]
+        events.extend(
+            TimelineEvent(report.time, "auto-scaler", "untriaged",
+                          f"{report.job_id}: {report.reason}")
+            for report in getattr(scaler, "untriaged", [])
+        )
+        return events
+
+    def _failover_events(self) -> List[TimelineEvent]:
+        shard_manager = getattr(self._platform, "shard_manager", None)
+        if shard_manager is None:
+            return []
+        return [
+            TimelineEvent(event.time, "shard-manager", "failover",
+                          f"{event.container_id} ({event.shards_moved} shards)")
+            for event in shard_manager.failover_events
+        ]
+
+    def _capacity_events(self) -> List[TimelineEvent]:
+        capacity = getattr(self._platform, "capacity_manager", None)
+        if capacity is None:
+            return []
+        return [
+            TimelineEvent(event.time, "capacity-manager", event.kind,
+                          event.detail)
+            for event in capacity.events
+        ]
+
+    def _failure_events(self) -> List[TimelineEvent]:
+        failures = getattr(self._platform, "failures", None)
+        if failures is None:
+            return []
+        return [
+            TimelineEvent(record.time, "cluster", f"host-{record.kind}",
+                          record.host_id)
+            for record in failures.history
+        ]
+
+    def _health_events(self) -> List[TimelineEvent]:
+        health = getattr(self._platform, "health", None)
+        if health is None:
+            return []
+        return [
+            TimelineEvent(alert.time, "health", f"alert-{alert.severity}",
+                          f"{alert.what} (runbook: {alert.runbook})")
+            for alert in health.alerts
+        ]

@@ -1,0 +1,395 @@
+"""The Turbine platform: wiring of all three layers over the substrate.
+
+This is the top-level façade a user of the library instantiates. It owns:
+
+* the discrete-event engine, the Tupperware cluster, the Scribe bus, and
+  the metric store (the substrate);
+* Job Management: Job Store, Job Service, State Syncer;
+* Task Management: Task Service, Shard Manager, per-container Task
+  Managers, job stats collection;
+* Resource Management: the Auto Scaler and Capacity Manager (optional —
+  the Fig. 8 baseline runs without them).
+
+Typical use::
+
+    turbine = Turbine.create(num_hosts=10, seed=42)
+    turbine.provision(JobSpec(job_id="scuba/ads", input_category="ads",
+                              task_count=4))
+    turbine.scribe.ensure_category("ads", 32)
+    turbine.run_for(hours=1)
+    print(turbine.job_lag("scuba/ads"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.failures import FailureInjector
+from repro.cluster.resources import ResourceVector
+from repro.cluster.tupperware import TupperwareCluster
+from repro.jobs.model import JobSpec
+from repro.jobs.service import JobService
+from repro.jobs.store import JobStore
+from repro.jobs.syncer import SYNC_INTERVAL, StateSyncer
+from repro.metrics.store import MetricStore
+from repro.scribe.bus import ScribeBus
+from repro.sim.engine import Engine
+from repro.tasks.actuator import TurbineActuator
+from repro.tasks.manager import (
+    CONNECTION_TIMEOUT,
+    HEARTBEAT_INTERVAL,
+    LOAD_REPORT_INTERVAL,
+    REFRESH_INTERVAL,
+    STEP_INTERVAL,
+    TaskManager,
+)
+from repro.tasks.service import CACHE_TTL, TaskService
+from repro.tasks.shard import DEFAULT_NUM_SHARDS
+from repro.tasks.shard_manager import (
+    FAILOVER_INTERVAL,
+    REBALANCE_INTERVAL,
+    ShardManager,
+)
+from repro.tasks.stats import COLLECT_INTERVAL, JobStatsCollector
+from repro.types import JobId, Seconds, TaskState
+
+
+@dataclass
+class PlatformConfig:
+    """Tunable intervals and sizes for a Turbine deployment.
+
+    Defaults match the paper's production values; long-horizon benchmarks
+    scale them up (coarser data-plane steps) to keep runs fast.
+    """
+
+    num_shards: int = DEFAULT_NUM_SHARDS
+    containers_per_host: int = 4
+    container_capacity: Optional[ResourceVector] = None
+    sync_interval: Seconds = SYNC_INTERVAL
+    cache_ttl: Seconds = CACHE_TTL
+    refresh_interval: Seconds = REFRESH_INTERVAL
+    heartbeat_interval: Seconds = HEARTBEAT_INTERVAL
+    connection_timeout: Seconds = CONNECTION_TIMEOUT
+    failover_interval: Seconds = FAILOVER_INTERVAL
+    rebalance_interval: Seconds = REBALANCE_INTERVAL
+    step_interval: Seconds = STEP_INTERVAL
+    load_report_interval: Seconds = LOAD_REPORT_INTERVAL
+    stats_interval: Seconds = COLLECT_INTERVAL
+    record_task_metrics: bool = False
+
+
+class Turbine:
+    """A fully wired Turbine deployment over a simulated cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: TupperwareCluster,
+        config: Optional[PlatformConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.config = config or PlatformConfig()
+        self.scribe = ScribeBus()
+        self.metrics = MetricStore()
+        self.failures = FailureInjector(engine, cluster)
+
+        # --- Job Management -------------------------------------------
+        self.job_store = JobStore()
+        self.job_service = JobService(self.job_store)
+
+        # --- Task Management ------------------------------------------
+        self.task_service = TaskService(engine, cache_ttl=self.config.cache_ttl)
+        self.shard_manager = ShardManager(
+            engine,
+            num_shards=self.config.num_shards,
+            failover_interval=self.config.failover_interval,
+            rebalance_interval=self.config.rebalance_interval,
+        )
+        self.actuator = TurbineActuator(
+            self.task_service, self.shard_manager, self.scribe
+        )
+        self.syncer = StateSyncer(
+            self.job_store, self.actuator, engine=engine,
+            interval=self.config.sync_interval,
+        )
+        self.task_managers: Dict[str, TaskManager] = {}
+        self.stats = JobStatsCollector(
+            engine, self.task_service, self.shard_manager, self.scribe,
+            self.metrics, interval=self.config.stats_interval,
+        )
+        #: Filled in by :meth:`attach_scaler` / :meth:`attach_capacity_manager`
+        #: / :meth:`attach_health_reporter`.
+        self.scaler = None
+        self.capacity_manager = None
+        self.health = None
+        self._started = False
+        cluster.on_host_failure.append(self._on_host_failure)
+
+    # ------------------------------------------------------------------
+    # Resource Management attachment
+    # ------------------------------------------------------------------
+    def attach_scaler(self, scaler_config=None):
+        """Attach the proactive Auto Scaler (optional third layer).
+
+        Imported lazily so deployments without auto scaling (the Fig. 8
+        baseline cluster) never construct scaler state.
+        """
+        from repro.scaler.proactive import AutoScaler, AutoScalerConfig
+
+        if scaler_config is None:
+            scaler_config = AutoScalerConfig(
+                container_capacity=self.config.container_capacity
+                if self.config.container_capacity is not None
+                else AutoScalerConfig().container_capacity
+            )
+        self.scaler = AutoScaler(
+            self.engine, self.job_service, self.metrics, self.scribe,
+            config=scaler_config,
+        )
+        if self._started:
+            self.scaler.start()
+        return self.scaler
+
+    def attach_health_reporter(self, thresholds=None, interval=300.0):
+        """Attach the operations health reporter (paper section VII)."""
+        from repro.ops.health import HealthReporter
+
+        self.health = HealthReporter(
+            self.engine, self.job_service, self.task_service,
+            self.shard_manager, self.metrics,
+            thresholds=thresholds, interval=interval,
+        )
+        if self._started:
+            self.health.start()
+        return self.health
+
+    def attach_capacity_manager(self, capacity_config=None):
+        """Attach the Capacity Manager (requires an attached scaler)."""
+        from repro.scaler.capacity import CapacityManager
+
+        if self.scaler is None:
+            raise RuntimeError("attach_scaler must be called first")
+        self.capacity_manager = CapacityManager(
+            self.engine, self.cluster, self.job_service, self.scaler,
+            self.actuator, config=capacity_config,
+        )
+        if self._started:
+            self.capacity_manager.start()
+        return self.capacity_manager
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        num_hosts: int,
+        seed: int = 0,
+        config: Optional[PlatformConfig] = None,
+        host_capacity: Optional[ResourceVector] = None,
+    ) -> "Turbine":
+        """Build a deployment with ``num_hosts`` identical hosts."""
+        engine = Engine(seed=seed)
+        cluster = TupperwareCluster()
+        for index in range(num_hosts):
+            cluster.add_host(f"host-{index}", host_capacity)
+        return cls(engine, cluster, config)
+
+    def start(self) -> None:
+        """Allocate containers, start every service, place all shards."""
+        if self._started:
+            return
+        self._started = True
+        containers = self.cluster.allocate_fleet(
+            self.config.containers_per_host, self.config.container_capacity
+        )
+        for container in containers:
+            self._spawn_manager(container)
+        self.shard_manager.initial_placement()
+        self.shard_manager.start()
+        self.syncer.start()
+        self.stats.start()
+        if self.scaler is not None:
+            self.scaler.start()
+        if self.capacity_manager is not None:
+            self.capacity_manager.start()
+        if self.health is not None:
+            self.health.start()
+
+    def _spawn_manager(self, container) -> TaskManager:
+        manager = TaskManager(
+            self.engine,
+            container,
+            self.task_service,
+            self.shard_manager,
+            self.scribe,
+            metrics=self.metrics,
+            refresh_interval=self.config.refresh_interval,
+            heartbeat_interval=self.config.heartbeat_interval,
+            connection_timeout=self.config.connection_timeout,
+            step_interval=self.config.step_interval,
+            load_report_interval=self.config.load_report_interval,
+            record_task_metrics=self.config.record_task_metrics,
+        )
+        self.task_managers[container.container_id] = manager
+        manager.start()
+        return manager
+
+    # ------------------------------------------------------------------
+    # Host lifecycle
+    # ------------------------------------------------------------------
+    def _on_host_failure(self, host_id: str) -> None:
+        """Drop Task Manager objects whose containers died with the host.
+
+        The Shard Manager discovers the loss through missing heartbeats
+        (it is not told directly — that is the point of the protocol).
+        """
+        dead = [
+            container_id
+            for container_id, manager in self.task_managers.items()
+            if not manager.alive
+        ]
+        for container_id in dead:
+            manager = self.task_managers.pop(container_id)
+            manager.shutdown()
+
+    def add_host(self, host_id: str) -> None:
+        """Hot-add a host: allocate containers and managers on it.
+
+        "The procedure to add or remove hosts is fully automated"
+        (paper section V-F).
+        """
+        self.cluster.add_host(host_id)
+        for __ in range(self.config.containers_per_host):
+            container = self.cluster.allocate_container(
+                self.config.container_capacity, host_id=host_id
+            )
+            self._spawn_manager(container)
+
+    def recover_host(self, host_id: str) -> None:
+        """Bring a failed host back and repopulate its containers."""
+        self.cluster.recover_host(host_id)
+        for __ in range(self.config.containers_per_host):
+            container = self.cluster.allocate_container(
+                self.config.container_capacity, host_id=host_id
+            )
+            self._spawn_manager(container)
+
+    # ------------------------------------------------------------------
+    # Job operations
+    # ------------------------------------------------------------------
+    def provision(self, spec: JobSpec, partitions: Optional[int] = None) -> None:
+        """Provision a job and make sure its input category exists."""
+        if partitions is None:
+            partitions = max(spec.task_count_limit, spec.task_count)
+        self.scribe.ensure_category(spec.input_category, partitions)
+        self.job_service.provision(spec)
+
+    def deprovision(self, job_id: JobId) -> None:
+        """Tear a job down completely: tasks, specs, checkpoints, metrics.
+
+        The input category is left in place — other jobs may read it, and
+        Scribe data is persistent by design.
+        """
+        self.actuator.stop_tasks(job_id)
+        self.job_service.deprovision(job_id)
+        self.scribe.checkpoints.drop_job(job_id)
+        self.metrics.drop_entity(job_id)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_for(
+        self, seconds: float = 0.0, minutes: float = 0.0, hours: float = 0.0,
+        days: float = 0.0,
+    ) -> None:
+        """Advance the simulation by the given amount of time."""
+        duration = seconds + minutes * 60 + hours * 3600 + days * 86400
+        self.engine.run_for(duration)
+
+    @property
+    def now(self) -> Seconds:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def running_tasks(self) -> List[str]:
+        """Every task currently running, across all live managers."""
+        return sorted(
+            task_id
+            for manager in self.task_managers.values()
+            if manager.alive
+            for task_id in manager.running_task_ids()
+        )
+
+    def running_task_count(self) -> int:
+        return sum(
+            len(manager.running_task_ids())
+            for manager in self.task_managers.values()
+            if manager.alive
+        )
+
+    def tasks_of_job(self, job_id: JobId) -> List[str]:
+        """Running task ids of one job."""
+        return sorted(
+            task.spec.task_id
+            for manager in self.task_managers.values()
+            if manager.alive
+            for task in manager.tasks.values()
+            if task.spec.job_id == job_id and task.state == TaskState.RUNNING
+        )
+
+    def job_lag_mb(self, job_id: JobId) -> float:
+        """Unprocessed bytes (MB) in the job's input category.
+
+        Reads the category from the job's expected configuration (not its
+        task specs) so a stopped job still reports its growing backlog.
+        """
+        config = self.job_service.expected_config(job_id)
+        category_name = config.get("input", {}).get("category", "")
+        if not category_name or category_name not in self.scribe.categories:
+            return 0.0
+        category = self.scribe.get_category(category_name)
+        checkpoints = self.scribe.checkpoints
+        return sum(
+            partition.available(checkpoints.get(job_id, partition.partition_id))
+            for partition in category.partitions
+        )
+
+    def host_utilization(self) -> Dict[str, Dict[str, float]]:
+        """Per-host CPU and memory utilization from live task usage."""
+        usage: Dict[str, Dict[str, float]] = {}
+        for manager in self.task_managers.values():
+            if not manager.alive or manager.container.host_id is None:
+                continue
+            host_id = manager.container.host_id
+            host = self.cluster.hosts.get(host_id)
+            if host is None or not host.alive:
+                continue
+            entry = usage.setdefault(
+                host_id, {"cpu": 0.0, "memory_gb": 0.0, "tasks": 0.0}
+            )
+            for task in manager.tasks.values():
+                if task.state != TaskState.RUNNING:
+                    continue
+                entry["cpu"] += task.last_cpu_used
+                entry["memory_gb"] += task.memory_needed_gb()
+                entry["tasks"] += 1
+        for host_id, entry in usage.items():
+            capacity = self.cluster.hosts[host_id].capacity
+            entry["cpu_util"] = entry["cpu"] / capacity.cpu if capacity.cpu else 0.0
+            entry["mem_util"] = (
+                entry["memory_gb"] / capacity.memory_gb
+                if capacity.memory_gb else 0.0
+            )
+        return usage
+
+    def __repr__(self) -> str:
+        return (
+            f"Turbine(hosts={len(self.cluster.hosts)}, "
+            f"jobs={len(self.job_store.job_ids())}, "
+            f"tasks={self.running_task_count()})"
+        )

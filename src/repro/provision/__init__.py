@@ -1,0 +1,56 @@
+"""The provisioning pipeline upstream of Turbine (paper Fig. 2).
+
+"Application developers construct a data processing pipeline using
+Facebook's stream processing application framework, which supports APIs at
+both declarative level and imperative level ... After a query passes all
+validation checks (e.g., schema validation), it will be compiled to an
+internal representation (IR), optimized, then sent to the Provision
+Service. ... The Provision Service is responsible for generating runtime
+configuration files and executables according to the selected mode."
+
+This package implements that pipeline for the streaming mode: a small
+operator-tree query API, schema validation, compilation to an IR,
+rule-based optimization (predicate pushdown, projection pruning, operator
+fusion), and a Provision Service that splits the optimized graph at
+shuffle boundaries into Turbine jobs wired together through Scribe
+categories.
+"""
+
+from repro.provision.ir import IRNode, StreamGraph, compile_query
+from repro.provision.optimizer import optimize
+from repro.provision.query import (
+    Aggregate,
+    Field,
+    Filter,
+    Join,
+    Project,
+    Query,
+    Schema,
+    Shuffle,
+    Sink,
+    Source,
+    Union,
+    Window,
+)
+from repro.provision.service import ProvisionService, ProvisionedPipeline
+
+__all__ = [
+    "Query",
+    "Schema",
+    "Field",
+    "Source",
+    "Filter",
+    "Project",
+    "Aggregate",
+    "Join",
+    "Union",
+    "Window",
+    "Shuffle",
+    "Sink",
+    "compile_query",
+    "optimize",
+    "IRNode",
+    "StreamGraph",
+    "ProvisionService",
+    "ProvisionedPipeline",
+]

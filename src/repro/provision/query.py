@@ -1,0 +1,318 @@
+"""The declarative query API: schemas and an operator tree.
+
+"The complexity of the queries can vary from simple filtering and
+projection to a complex graph with multiple join operators or
+aggregations." (paper section II). The supported operators mirror the
+transformations the paper lists: filtering, projection, aggregation,
+joins, and data shuffling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import TurbineError
+
+
+class QueryError(TurbineError):
+    """A query failed validation (unknown fields, type mismatch, ...)."""
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named, typed column of a stream."""
+
+    name: str
+    dtype: str = "string"  # "string" | "int" | "float" | "bool"
+
+    _VALID = ("string", "int", "float", "bool")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("field name must be non-empty")
+        if self.dtype not in self._VALID:
+            raise QueryError(
+                f"unknown dtype {self.dtype!r} for field {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of fields."""
+
+    fields: Tuple[Field, ...]
+
+    @classmethod
+    def of(cls, *fields: Field) -> "Schema":
+        return cls(tuple(fields))
+
+    def names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def field(self, name: str) -> Field:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise QueryError(f"unknown field {name!r}; schema has {self.names()}")
+
+    def has(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        return Schema(tuple(self.field(name) for name in names))
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Union of two schemas (join output); duplicate names rejected."""
+        overlap = set(self.names()) & set(other.names())
+        if overlap:
+            raise QueryError(f"join output has duplicate fields: {sorted(overlap)}")
+        return Schema(self.fields + other.fields)
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+@dataclass
+class Operator:
+    """Base operator; inputs are other operators (a DAG, usually a tree)."""
+
+    inputs: List["Operator"] = field(default_factory=list, init=False)
+
+    def output_schema(self) -> Schema:
+        raise NotImplementedError
+
+
+@dataclass
+class Source(Operator):
+    """Reads a Scribe category with a declared schema."""
+
+    category: str
+    schema: Schema
+    #: Estimated input rate, used by the provisioner for initial sizing.
+    rate_mb: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.inputs = []
+        if not self.category:
+            raise QueryError("source category must be non-empty")
+        if self.rate_mb <= 0:
+            raise QueryError("source rate must be positive")
+
+    def output_schema(self) -> Schema:
+        return self.schema
+
+
+@dataclass
+class Filter(Operator):
+    """Keeps rows where ``predicate_field`` (a bool column) is true, or a
+    comparison on a field holds. ``selectivity`` is the fraction kept."""
+
+    parent: Operator
+    predicate_field: str
+    selectivity: float = 0.5
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.parent]
+        if not 0 < self.selectivity <= 1:
+            raise QueryError(f"selectivity must be in (0, 1]: {self.selectivity}")
+
+    def output_schema(self) -> Schema:
+        schema = self.parent.output_schema()
+        if not schema.has(self.predicate_field):
+            raise QueryError(
+                f"filter references unknown field {self.predicate_field!r}"
+            )
+        return schema
+
+
+@dataclass
+class Project(Operator):
+    """Keeps only the named columns."""
+
+    parent: Operator
+    columns: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.parent]
+        if not self.columns:
+            raise QueryError("projection must keep at least one column")
+
+    def output_schema(self) -> Schema:
+        return self.parent.output_schema().project(self.columns)
+
+
+@dataclass
+class Shuffle(Operator):
+    """Repartitions the stream by a key (a stage boundary)."""
+
+    parent: Operator
+    key: str
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.parent]
+
+    def output_schema(self) -> Schema:
+        schema = self.parent.output_schema()
+        if not schema.has(self.key):
+            raise QueryError(f"shuffle key {self.key!r} not in schema")
+        return schema
+
+
+@dataclass
+class Aggregate(Operator):
+    """Stateful group-by aggregation. Requires key-partitioned input."""
+
+    parent: Operator
+    group_by: str
+    aggregates: Tuple[str, ...]  # e.g. ("count", "sum:bytes")
+    #: Estimated distinct keys (drives the memory estimator).
+    key_cardinality: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.parent]
+        if self.key_cardinality <= 0:
+            raise QueryError("key_cardinality must be positive")
+
+    def output_schema(self) -> Schema:
+        schema = self.parent.output_schema()
+        if not schema.has(self.group_by):
+            raise QueryError(f"group-by key {self.group_by!r} not in schema")
+        out = [schema.field(self.group_by)]
+        for agg in self.aggregates:
+            if ":" in agg:
+                fn, column = agg.split(":", 1)
+                if not schema.has(column):
+                    raise QueryError(f"aggregate over unknown field {column!r}")
+            else:
+                fn = agg
+            if fn not in ("count", "sum", "min", "max", "avg"):
+                raise QueryError(f"unknown aggregate function {fn!r}")
+            out.append(Field(f"{agg.replace(':', '_')}", "float"))
+        return Schema(tuple(out))
+
+
+@dataclass
+class Union(Operator):
+    """Merges two streams with identical schemas (stateless)."""
+
+    left: Operator
+    right: Operator
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.left, self.right]
+
+    def output_schema(self) -> Schema:
+        left_schema = self.left.output_schema()
+        right_schema = self.right.output_schema()
+        if left_schema != right_schema:
+            raise QueryError(
+                f"union sides must share a schema: "
+                f"{left_schema.names()} vs {right_schema.names()}"
+            )
+        return left_schema
+
+
+@dataclass
+class Window(Operator):
+    """Tumbling-window pre-aggregation (stateful, bounded state).
+
+    Emits one row per key per window; state is proportional to the key
+    cardinality within a window, like the paper's aggregation memory
+    model, but bounded by the window length.
+    """
+
+    parent: Operator
+    key: str
+    window_seconds: float = 60.0
+    key_cardinality: int = 100_000
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.parent]
+        if self.window_seconds <= 0:
+            raise QueryError("window length must be positive")
+        if self.key_cardinality <= 0:
+            raise QueryError("key_cardinality must be positive")
+
+    def output_schema(self) -> Schema:
+        schema = self.parent.output_schema()
+        if not schema.has(self.key):
+            raise QueryError(f"window key {self.key!r} not in schema")
+        return schema
+
+
+@dataclass
+class Join(Operator):
+    """Stateful stream-stream join on a key, within a time window."""
+
+    left: Operator
+    right: Operator
+    key: str
+    window_seconds: float = 300.0
+    key_cardinality: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.left, self.right]
+        if self.window_seconds <= 0:
+            raise QueryError("join window must be positive")
+
+    def output_schema(self) -> Schema:
+        left_schema = self.left.output_schema()
+        right_schema = self.right.output_schema()
+        if not left_schema.has(self.key) or not right_schema.has(self.key):
+            raise QueryError(f"join key {self.key!r} missing on one side")
+        right_rest = right_schema.project(
+            [n for n in right_schema.names() if n != self.key]
+        )
+        return left_schema.merge(right_rest)
+
+
+@dataclass
+class Sink(Operator):
+    """Writes the stream to an output Scribe category."""
+
+    parent: Operator
+    category: str
+
+    def __post_init__(self) -> None:
+        self.inputs = [self.parent]
+        if not self.category:
+            raise QueryError("sink category must be non-empty")
+
+    def output_schema(self) -> Schema:
+        return self.parent.output_schema()
+
+
+@dataclass
+class Query:
+    """A named query: one sink rooted over an operator tree."""
+
+    name: str
+    sink: Sink
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise QueryError("query name must be non-empty")
+
+    def validate(self) -> Schema:
+        """Run all schema checks; returns the output schema.
+
+        "After a query passes all validation checks (e.g., schema
+        validation), it will be compiled..." — validation is simply a full
+        schema derivation over the tree, which surfaces unknown fields,
+        type errors, and duplicate join outputs.
+        """
+        return self.sink.output_schema()
+
+    def operators(self) -> List[Operator]:
+        """All operators, topologically ordered (inputs before users)."""
+        seen: List[Operator] = []
+
+        def visit(node: Operator) -> None:
+            for parent in node.inputs:
+                visit(parent)
+            if node not in seen:
+                seen.append(node)
+
+        visit(self.sink)
+        return seen

@@ -1,0 +1,34 @@
+"""Resource Management layer — *how to run*.
+
+Implements the paper's section V: the Auto Scaler in its three generations
+(reactive symptom-driven, proactive estimate-driven, preactive
+pattern-pruned), the multi-dimensional resource estimators (equations 2 and
+3), the plan generator with its safety rules, the pattern analyzer's
+max-throughput adjustment and 14-day historical workload pruning, untriaged
+problem reporting, and the Capacity Manager.
+"""
+
+from repro.scaler.capacity import CapacityManager
+from repro.scaler.detectors import JobSymptoms, SymptomDetector
+from repro.scaler.estimators import ResourceEstimate, ResourceEstimator
+from repro.scaler.patterns import PatternAnalyzer
+from repro.scaler.plan_generator import PlanGenerator, ScalingDecision
+from repro.scaler.proactive import AutoScaler, AutoScalerConfig
+from repro.scaler.reactive import ReactiveAutoScaler, ReactiveConfig
+from repro.scaler.snapshot import JobSnapshot
+
+__all__ = [
+    "AutoScaler",
+    "AutoScalerConfig",
+    "ReactiveAutoScaler",
+    "ReactiveConfig",
+    "SymptomDetector",
+    "JobSymptoms",
+    "ResourceEstimator",
+    "ResourceEstimate",
+    "PatternAnalyzer",
+    "PlanGenerator",
+    "ScalingDecision",
+    "CapacityManager",
+    "JobSnapshot",
+]

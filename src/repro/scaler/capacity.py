@@ -1,0 +1,215 @@
+"""The Capacity Manager.
+
+"The Capacity Manager monitors resource usage of jobs in a cluster and
+makes sure each resource type has sufficient allocation cluster-wide ...
+When cluster-level resource usage spikes up — e.g., during disaster
+recovery — the Capacity Manager communicates with the Auto Scaler by
+sending it the amount of remaining resources in the cluster and instructing
+it to prioritize scaling up privileged jobs. In the extreme case of the
+cluster running out of resources and becoming unstable, the Capacity
+Manager is authorized to stop lower priority jobs and redistribute their
+resources towards unblocking higher priority jobs faster." (paper
+section V-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cluster.tupperware import TupperwareCluster
+from repro.jobs.model import KEY_PRIORITY
+from repro.jobs.plan import TaskActuator
+from repro.jobs.service import JobService
+from repro.scaler.proactive import AutoScaler
+from repro.sim.engine import Engine, Timer
+from repro.types import JobState, Priority, Seconds
+
+
+@dataclass
+class CapacityConfig:
+    """Thresholds of the capacity manager."""
+
+    #: Evaluation period.
+    interval: Seconds = 300.0
+    #: Dominant-share cluster utilization above which only privileged jobs
+    #: may scale up.
+    pressure_threshold: float = 0.80
+    #: Utilization above which the cluster is "unstable" and low-priority
+    #: jobs are stopped.
+    instability_threshold: float = 0.95
+    #: Priority floor imposed under pressure.
+    pressure_floor: Priority = Priority.HIGH
+
+
+@dataclass
+class CapacityEvent:
+    """Audit record: what the capacity manager did and when."""
+
+    time: Seconds
+    kind: str  # "pressure_on" | "pressure_off" | "job_stopped" | "job_resumed"
+    detail: str = ""
+
+
+class CapacityManager:
+    """Cluster-wide resource oversight and priority-based preemption."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: TupperwareCluster,
+        job_service: JobService,
+        scaler: AutoScaler,
+        actuator: TaskActuator,
+        config: Optional[CapacityConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self._cluster = cluster
+        self._service = job_service
+        self._scaler = scaler
+        self._actuator = actuator
+        self.config = config or CapacityConfig()
+        self.events: List[CapacityEvent] = []
+        self.stopped_jobs: List[str] = []
+        self._pressure = False
+        self._timer: Optional[Timer] = None
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self._engine.every(
+                self.config.interval, self.run_once, name="capacity-manager"
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # One evaluation round
+    # ------------------------------------------------------------------
+    def cluster_utilization(self) -> float:
+        """Dominant-share reserved/capacity across live hosts."""
+        capacity = self._cluster.total_capacity()
+        reserved = self._cluster.total_reserved()
+        return reserved.utilization_of(capacity)
+
+    def run_once(self) -> None:
+        utilization = self.cluster_utilization()
+        if utilization >= self.config.instability_threshold:
+            self._enter_pressure(utilization)
+            self._shed_low_priority(utilization)
+        elif utilization >= self.config.pressure_threshold:
+            self._enter_pressure(utilization)
+        else:
+            self._exit_pressure(utilization)
+            self._maybe_resume_stopped()
+
+    # ------------------------------------------------------------------
+    # Pressure signalling to the Auto Scaler
+    # ------------------------------------------------------------------
+    def _enter_pressure(self, utilization: float) -> None:
+        if self._pressure:
+            return
+        self._pressure = True
+        self._scaler.priority_floor = self.config.pressure_floor
+        self.events.append(
+            CapacityEvent(
+                self._engine.now, "pressure_on",
+                f"utilization {utilization:.2f}; privileged jobs only",
+            )
+        )
+
+    def _exit_pressure(self, utilization: float) -> None:
+        if not self._pressure:
+            return
+        self._pressure = False
+        self._scaler.priority_floor = Priority.LOW
+        self.events.append(
+            CapacityEvent(
+                self._engine.now, "pressure_off",
+                f"utilization {utilization:.2f}",
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Last resort: stopping low-priority jobs
+    # ------------------------------------------------------------------
+    def _shed_low_priority(self, utilization: float) -> None:
+        """Stop the lowest-priority jobs until the cluster is stable.
+
+        "Turbine throttles resource consumption by stopping tasks only as a
+        last resort, and does so by prioritizing the availability of tasks
+        belonging to high business value applications." (section VIII).
+        """
+        candidates = sorted(
+            self._service.active_job_ids(),
+            key=lambda job_id: (
+                int(
+                    self._service.expected_config(job_id).get(
+                        KEY_PRIORITY, Priority.NORMAL
+                    )
+                ),
+                job_id,
+            ),
+        )
+        for job_id in candidates:
+            if self.cluster_utilization() < self.config.instability_threshold:
+                return
+            priority = Priority(
+                int(
+                    self._service.expected_config(job_id).get(
+                        KEY_PRIORITY, Priority.NORMAL
+                    )
+                )
+            )
+            if priority >= Priority.HIGH:
+                break  # never stop privileged jobs
+            self._service.store.set_state(job_id, JobState.STOPPED)
+            self._actuator.stop_tasks(job_id)
+            self.stopped_jobs.append(job_id)
+            self.events.append(
+                CapacityEvent(
+                    self._engine.now, "job_stopped",
+                    f"{job_id} (priority {priority.name})",
+                )
+            )
+
+    def _maybe_resume_stopped(self) -> None:
+        """Bring back jobs we stopped, once there is room again."""
+        while self.stopped_jobs:
+            if self.cluster_utilization() >= self.config.pressure_threshold:
+                return
+            job_id = self.stopped_jobs.pop(0)
+            if not self._service.store.exists(job_id):
+                continue
+            self._service.store.set_state(job_id, JobState.RUNNING)
+            # Re-publishing the config makes the State Syncer re-create
+            # the job's tasks on its next round.
+            self._bump_for_resync(job_id)
+            self.events.append(
+                CapacityEvent(self._engine.now, "job_resumed", job_id)
+            )
+
+    def _bump_for_resync(self, job_id: str) -> None:
+        """Invalidate the running config so the syncer restarts the job."""
+        self._service.store.commit_running(job_id, {})
+
+    # ------------------------------------------------------------------
+    # Host transfer (storm drills)
+    # ------------------------------------------------------------------
+    def lend_hosts(self, count: int) -> List[str]:
+        """Remove ``count`` live hosts from this cluster and return their
+        ids — "authorized to temporarily transfer resources between
+        different clusters"."""
+        lent = []
+        for host in list(self._cluster.live_hosts()):
+            if len(lent) >= count:
+                break
+            self._cluster.remove_host(host.host_id)
+            lent.append(host.host_id)
+        return lent
+
+    @property
+    def under_pressure(self) -> bool:
+        return self._pressure

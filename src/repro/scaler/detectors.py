@@ -1,0 +1,62 @@
+"""Symptom detectors.
+
+The first-generation scaler "consisted of a collection of Symptom Detectors
+and Diagnosis Resolvers ... It monitored pre-configured symptoms of
+misbehavior such as lag or backlog, imbalanced input, and tasks running out
+of memory (OOM)." (paper section V-A). The detectors survive unchanged into
+the proactive generation — what changed is what happens *after* detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scaler.snapshot import JobSnapshot
+
+#: Relative spread of per-task processing rates above which the input is
+#: considered imbalanced (stdev / mean).
+IMBALANCE_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class JobSymptoms:
+    """The detector verdict for one job."""
+
+    lagging: bool
+    imbalanced: bool
+    oom: bool
+
+    @property
+    def healthy(self) -> bool:
+        return not (self.lagging or self.imbalanced or self.oom)
+
+
+class SymptomDetector:
+    """Turns a job snapshot into symptoms."""
+
+    def __init__(self, imbalance_threshold: float = IMBALANCE_THRESHOLD) -> None:
+        if imbalance_threshold <= 0:
+            raise ValueError("imbalance threshold must be positive")
+        self._imbalance_threshold = imbalance_threshold
+
+    def detect(self, snapshot: JobSnapshot) -> JobSymptoms:
+        """Evaluate lag (equation 1 vs SLO), imbalance, and OOM."""
+        return JobSymptoms(
+            lagging=snapshot.lagging,
+            imbalanced=self._is_imbalanced(snapshot),
+            oom=snapshot.oom_recently,
+        )
+
+    def _is_imbalanced(self, snapshot: JobSnapshot) -> bool:
+        """"Imbalanced input is measured by the standard deviation of
+        processing rate across all the tasks belonging to the same job."
+
+        A single-task job cannot be imbalanced, and an idle job's spread is
+        noise, so both are excluded.
+        """
+        if snapshot.running_tasks <= 1:
+            return False
+        mean_rate = snapshot.per_task_rate
+        if mean_rate <= 1e-9:
+            return False
+        return snapshot.task_rate_stdev / mean_rate > self._imbalance_threshold

@@ -1,0 +1,242 @@
+"""The proactive/preactive Auto Scaler — the paper's second generation.
+
+Architecture per Fig. 4: Symptom Detector → Resource Estimator → Pattern
+Analyzer → Plan Generator → Job Service. Each evaluation round builds a
+:class:`JobSnapshot` per job, runs the pure decision pipeline, and applies
+the resulting plan to the job's SCALER-level configuration through the Job
+Service — never touching tasks directly, which is what keeps the three
+management layers decoupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.container import DEFAULT_CONTAINER_CAPACITY
+from repro.cluster.resources import ResourceVector
+from repro.jobs.configs import ConfigLevel
+from repro.jobs.service import JobService
+from repro.metrics.store import MetricStore
+from repro.scaler.detectors import SymptomDetector
+from repro.scaler.estimators import ResourceEstimator
+from repro.scaler.patterns import PatternAnalyzer
+from repro.scaler.plan_generator import Action, PlanGenerator, ScalingDecision
+from repro.scaler.snapshot import JobSnapshot, bootstrap_rate_hint, snapshot_job
+from repro.scribe.bus import ScribeBus
+from repro.sim.engine import Engine, Timer
+from repro.types import JobId, Priority, Seconds
+
+
+@dataclass
+class AutoScalerConfig:
+    """Tunables of the proactive scaler."""
+
+    #: Evaluation period.
+    interval: Seconds = 120.0
+    #: Quiet time before downscales are considered (the paper uses a day;
+    #: benchmarks shrink it to keep runs short).
+    downscale_after: Seconds = 86400.0
+    #: Container shape from which the vertical-scaling limit is derived.
+    container_capacity: ResourceVector = field(
+        default_factory=lambda: DEFAULT_CONTAINER_CAPACITY
+    )
+    #: Multiplicative error applied to the staging-period P hint, to model
+    #: imperfect bootstrap profiling (1.0 = perfect).
+    bootstrap_error: float = 1.0
+    #: Ablation switch for the preactive historical-workload pruning.
+    pattern_history: bool = True
+    #: "the next x hours" a downscale is validated against in history
+    #: (section V-C); must cover the gap from trough to peak to be useful.
+    pattern_validate_hours: float = 4.0
+    #: Ablation switch for vertical-first scaling (section V-E).
+    vertical_scaling: bool = True
+
+
+@dataclass
+class AppliedAction:
+    """Audit record of one applied scaling decision."""
+
+    time: Seconds
+    job_id: JobId
+    action: Action
+    reason: str
+    task_count: Optional[int] = None
+    threads: Optional[int] = None
+
+
+class AutoScaler:
+    """The proactive + preactive Auto Scaler (paper sections V-B/V-C)."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        job_service: JobService,
+        metrics: MetricStore,
+        scribe: ScribeBus,
+        config: Optional[AutoScalerConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self._service = job_service
+        self._metrics = metrics
+        self._scribe = scribe
+        self.config = config or AutoScalerConfig()
+        self.detector = SymptomDetector()
+        self.estimator = ResourceEstimator()
+        self.analyzer = PatternAnalyzer(
+            metrics,
+            validate_hours=self.config.pattern_validate_hours,
+            history_enabled=self.config.pattern_history,
+        )
+        self.generator = PlanGenerator(
+            self.analyzer,
+            self.config.container_capacity,
+            downscale_after=self.config.downscale_after,
+            allow_vertical=self.config.vertical_scaling,
+        )
+        #: Capacity pressure floor: upscales below this priority are
+        #: suppressed (set by the Capacity Manager, section V-F).
+        self.priority_floor: Priority = Priority.LOW
+        self.actions: List[AppliedAction] = []
+        #: Untriaged problems reported for operator attention.
+        self.untriaged: List[AppliedAction] = []
+        self._timer: Optional[Timer] = None
+        #: Per-job time of the last symptom, for the quiet-window check.
+        self._last_unhealthy: Dict[JobId, Seconds] = {}
+
+    # ------------------------------------------------------------------
+    # Periodic operation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self._engine.every(
+                self.config.interval, self.run_once, name="auto-scaler"
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # One evaluation round
+    # ------------------------------------------------------------------
+    def run_once(self) -> List[ScalingDecision]:
+        """Evaluate every active job; returns the non-trivial decisions."""
+        now = self._engine.now
+        decisions = []
+        for job_id in self._service.active_job_ids():
+            decision = self._evaluate_job(job_id, now)
+            if decision is not None and decision.action != Action.NONE:
+                decisions.append(decision)
+        return decisions
+
+    def _evaluate_job(
+        self, job_id: JobId, now: Seconds
+    ) -> Optional[ScalingDecision]:
+        config = self._service.expected_config(job_id)
+        category_name = config.get("input", {}).get("category", "")
+        partitions = 0
+        if category_name and category_name in self._scribe.categories:
+            partitions = self._scribe.get_category(category_name).num_partitions
+        snapshot = snapshot_job(
+            job_id, config, self._metrics, now, input_partitions=partitions
+        )
+        if snapshot.running_tasks == 0 and snapshot.input_rate_mb == 0:
+            return None  # nothing scheduled yet; no data to act on
+
+        symptoms = self.detector.detect(snapshot)
+        if not symptoms.healthy:
+            self._last_unhealthy[job_id] = now
+        bootstrap = bootstrap_rate_hint(config) * self.config.bootstrap_error
+        self.analyzer.rate_per_thread(job_id, bootstrap)  # ensure state
+        if symptoms.lagging:
+            # A lagging job runs saturated: its throughput refines P.
+            self.analyzer.observe_saturated_throughput(snapshot)
+        rate = self.analyzer.rate_per_thread(job_id, bootstrap)
+        estimate = self.estimator.estimate(snapshot, rate)
+        decision = self.generator.decide(
+            snapshot,
+            symptoms,
+            estimate,
+            quiet_long_enough=self._quiet_long_enough(snapshot),
+            priority_floor=self.priority_floor,
+        )
+        self._apply(snapshot, decision)
+        return decision
+
+    def _quiet_long_enough(self, snapshot: JobSnapshot) -> bool:
+        """True when no symptom fired within the configured quiet window
+        and we have actually observed the job for that long."""
+        now = snapshot.time
+        window = self.config.downscale_after
+        last_bad = self._last_unhealthy.get(snapshot.job_id)
+        if last_bad is not None and now - last_bad < window:
+            return False
+        lag_series = self._metrics.series(snapshot.job_id, "time_lagged")
+        points = lag_series.window(now - window, now)
+        if not points:
+            return False
+        if now - points[0][0] < window * 0.9:
+            return False
+        return max(value for __, value in points) <= (
+            0.1 * snapshot.slo_lag_seconds
+        )
+
+    # ------------------------------------------------------------------
+    # Applying decisions
+    # ------------------------------------------------------------------
+    def _apply(self, snapshot: JobSnapshot, decision: ScalingDecision) -> None:
+        record = AppliedAction(
+            time=snapshot.time,
+            job_id=snapshot.job_id,
+            action=decision.action,
+            reason=decision.reason,
+            task_count=decision.task_count,
+            threads=decision.threads,
+        )
+        if decision.action == Action.NONE:
+            return
+        if decision.action == Action.UNTRIAGED:
+            # "When Turbine cannot determine the cause of an untriaged
+            # problem, it fires operator alerts."
+            self.untriaged.append(record)
+            return
+        if decision.action == Action.REBALANCE:
+            self._rebalance_input(snapshot.job_id)
+            self.actions.append(record)
+            return
+        patch: Dict = {}
+        if decision.task_count is not None:
+            patch["task_count"] = decision.task_count
+        if decision.threads is not None:
+            patch["threads_per_task"] = decision.threads
+        resources = dict(
+            self._service.expected_config(snapshot.job_id).get("resources", {})
+        )
+        if decision.memory_per_task_gb is not None:
+            resources["memory_gb"] = round(decision.memory_per_task_gb, 3)
+        if decision.cpu_per_task is not None:
+            resources["cpu"] = round(decision.cpu_per_task, 3)
+        if resources:
+            patch["resources"] = resources
+        self._service.patch(snapshot.job_id, ConfigLevel.SCALER, patch)
+        self.actions.append(record)
+
+    def _rebalance_input(self, job_id: JobId) -> None:
+        """Even out the input traffic split across partitions.
+
+        Models Scribe-level traffic rebalancing: partition assignment of
+        messages is arbitrary, so the bus can redistribute producers across
+        partitions, which "rebalance[s] input traffic amongst tasks".
+        """
+        config = self._service.expected_config(job_id)
+        category_name = config.get("input", {}).get("category")
+        if category_name:
+            self._scribe.get_category(category_name).set_weights(None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def actions_for(self, job_id: JobId) -> List[AppliedAction]:
+        return [action for action in self.actions if action.job_id == job_id]

@@ -1,0 +1,180 @@
+"""The first-generation reactive Auto Scaler (Algorithm 2).
+
+"The first generation of the auto scaler was similar to Dhalion. It
+consisted of a collection of Symptom Detectors and Diagnosis Resolvers and
+was purely reactive." (paper section V-A). It is kept as a baseline for the
+ablation benchmarks: it has no resource estimates, so it converges slowly
+(doubling on lag), can downscale healthy jobs into unhealthy ones, and
+cannot tell untriaged problems from capacity problems — exactly the
+failure modes the paper lists as motivation for the proactive redesign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.jobs.configs import ConfigLevel
+from repro.jobs.service import JobService
+from repro.metrics.store import MetricStore
+from repro.scaler.detectors import SymptomDetector
+from repro.scaler.snapshot import JobSnapshot, snapshot_job
+from repro.scribe.bus import ScribeBus
+from repro.sim.engine import Engine, Timer
+from repro.types import Seconds
+
+
+@dataclass
+class ReactiveConfig:
+    """Tunables of the reactive scaler."""
+
+    #: Evaluation period.
+    interval: Seconds = 120.0
+    #: Multiplier applied to task count when lagging.
+    upscale_factor: float = 2.0
+    #: Memory growth factor on OOM.
+    oom_memory_factor: float = 1.5
+    #: Quiet time before attempting a downscale ("no OOM, no lag is
+    #: detected in a day").
+    downscale_after: Seconds = 86400.0
+    #: Tasks removed per downscale round (slow, cautious decay).
+    downscale_step: int = 1
+
+
+@dataclass
+class ReactiveAction:
+    """Audit record of one reactive decision."""
+
+    time: Seconds
+    job_id: str
+    kind: str
+    detail: str = ""
+
+
+class ReactiveAutoScaler:
+    """Algorithm 2, verbatim: react to symptoms with fixed-step changes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        job_service: JobService,
+        metrics: MetricStore,
+        scribe: ScribeBus,
+        config: Optional[ReactiveConfig] = None,
+    ) -> None:
+        self._engine = engine
+        self._service = job_service
+        self._metrics = metrics
+        self._scribe = scribe
+        self.config = config or ReactiveConfig()
+        self._detector = SymptomDetector()
+        self.actions: List[ReactiveAction] = []
+        self._timer: Optional[Timer] = None
+
+    def start(self) -> None:
+        if self._timer is None:
+            self._timer = self._engine.every(
+                self.config.interval, self.run_once, name="reactive-scaler"
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # One evaluation round — Algorithm 2
+    # ------------------------------------------------------------------
+    def run_once(self) -> None:
+        now = self._engine.now
+        for job_id in self._service.active_job_ids():
+            config = self._service.expected_config(job_id)
+            snapshot = snapshot_job(job_id, config, self._metrics, now)
+            self._evaluate(snapshot)
+
+    def _evaluate(self, snapshot: JobSnapshot) -> None:
+        symptoms = self._detector.detect(snapshot)
+        if symptoms.lagging:                       # line 2
+            if symptoms.imbalanced and snapshot.task_count > 1:   # line 3
+                self._rebalance(snapshot)          # line 4
+            else:
+                self._increase_tasks(snapshot)     # line 6
+        elif symptoms.oom:                          # line 8
+            self._increase_memory(snapshot)        # line 9
+        elif self._quiet_long_enough(snapshot):     # line 10
+            self._decrease_tasks(snapshot)         # line 11
+
+    # ------------------------------------------------------------------
+    # Resolvers
+    # ------------------------------------------------------------------
+    def _rebalance(self, snapshot: JobSnapshot) -> None:
+        config = self._service.expected_config(snapshot.job_id)
+        category_name = config.get("input", {}).get("category")
+        if category_name:
+            self._scribe.get_category(category_name).set_weights(None)
+        self._record(snapshot, "rebalance", "evened input traffic")
+
+    def _increase_tasks(self, snapshot: JobSnapshot) -> None:
+        new_count = min(
+            max(
+                snapshot.task_count + 1,
+                int(snapshot.task_count * self.config.upscale_factor),
+            ),
+            snapshot.task_count_limit,
+        )
+        if new_count <= snapshot.task_count:
+            return
+        self._service.patch(
+            snapshot.job_id, ConfigLevel.SCALER, {"task_count": new_count}
+        )
+        self._record(
+            snapshot, "upscale",
+            f"{snapshot.task_count} -> {new_count} tasks",
+        )
+
+    def _increase_memory(self, snapshot: JobSnapshot) -> None:
+        current = snapshot.memory_per_task_gb or 0.5
+        target = round(current * self.config.oom_memory_factor, 3)
+        config = self._service.expected_config(snapshot.job_id)
+        resources = dict(config.get("resources", {}))
+        resources["memory_gb"] = target
+        self._service.patch(
+            snapshot.job_id, ConfigLevel.SCALER, {"resources": resources}
+        )
+        self._record(snapshot, "memory", f"{current:.2f} -> {target:.2f} GB")
+
+    def _decrease_tasks(self, snapshot: JobSnapshot) -> None:
+        new_count = snapshot.task_count - self.config.downscale_step
+        if new_count < 1:
+            return
+        self._service.patch(
+            snapshot.job_id, ConfigLevel.SCALER, {"task_count": new_count}
+        )
+        self._record(
+            snapshot, "downscale",
+            f"{snapshot.task_count} -> {new_count} tasks",
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _quiet_long_enough(self, snapshot: JobSnapshot) -> bool:
+        """No lag above 10 % of SLO and no OOM for the whole quiet window."""
+        now = snapshot.time
+        window = self.config.downscale_after
+        lag_series = self._metrics.series(snapshot.job_id, "time_lagged")
+        lags = lag_series.values_in(now - window, now)
+        if not lags:
+            return False
+        earliest = lag_series.window(now - window, now)[0][0]
+        if now - earliest < window * 0.9:
+            return False  # not enough history to call it quiet
+        if max(lags) > 0.1 * snapshot.slo_lag_seconds:
+            return False
+        oom_series = self._metrics.series(snapshot.job_id, "oom_events")
+        return not oom_series.values_in(now - window, now)
+
+    def _record(self, snapshot: JobSnapshot, kind: str, detail: str) -> None:
+        self.actions.append(
+            ReactiveAction(snapshot.time, snapshot.job_id, kind, detail)
+        )

@@ -1,0 +1,132 @@
+"""Per-job metric snapshots — the scaler's view of one job.
+
+Gathering every number the detectors, estimators, and pattern analyzer need
+into a single immutable snapshot keeps the decision pipeline pure: each
+stage is a function of the snapshot, which makes the scaler deterministic
+and unit-testable without a live cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.jobs.model import (
+    KEY_PERF,
+    KEY_PRIORITY,
+    KEY_RESOURCES,
+    KEY_SLO,
+    KEY_STATE_KEY_CARDINALITY,
+    KEY_STATEFUL,
+    KEY_TASK_COUNT,
+    KEY_TASK_COUNT_LIMIT,
+    KEY_THREADS,
+)
+from repro.metrics.store import MetricStore
+from repro.types import JobId, Priority, Seconds
+
+#: Trailing window over which the input rate is averaged (the paper reads
+#: "the average input rate in the last 30 minutes" for outlier checks and
+#: ~10-minute usage averages for load).
+RATE_WINDOW: Seconds = 600.0
+
+
+@dataclass(frozen=True)
+class JobSnapshot:
+    """Everything the scaler pipeline knows about one job at one instant."""
+
+    job_id: JobId
+    time: Seconds
+    #: Control-plane view (merged expected config).
+    task_count: int
+    threads: int
+    task_count_limit: int
+    memory_per_task_gb: float
+    cpu_per_task: float
+    stateful: bool
+    state_key_cardinality: int
+    priority: Priority
+    slo_lag_seconds: float
+    slo_recovery_seconds: float
+    #: Data-plane view (from the metric store).
+    input_rate_mb: float
+    processing_rate_mb: float
+    backlog_mb: float
+    time_lagged: float
+    task_rate_stdev: float
+    oom_recently: bool
+    running_tasks: int
+    #: Partitions of the input category; parallelism beyond this adds
+    #: idle tasks (each partition has exactly one reader). 0 = unknown.
+    input_partitions: int = 0
+
+    @property
+    def lagging(self) -> bool:
+        """Equation-1 lag above the job's SLO threshold."""
+        return self.time_lagged > self.slo_lag_seconds
+
+    @property
+    def per_task_rate(self) -> float:
+        """Observed average processing rate per running task (MB/s)."""
+        if self.running_tasks <= 0:
+            return 0.0
+        return self.processing_rate_mb / self.running_tasks
+
+
+def snapshot_job(
+    job_id: JobId,
+    config: Dict[str, Any],
+    metrics: MetricStore,
+    now: Seconds,
+    oom_window: Seconds = 600.0,
+    input_partitions: int = 0,
+) -> JobSnapshot:
+    """Build a snapshot from a merged job config and the metric store."""
+    slo = config.get(KEY_SLO, {})
+    resources = config.get(KEY_RESOURCES, {})
+
+    def latest(metric: str, default: float = 0.0) -> float:
+        value = metrics.latest(job_id, metric)
+        return default if value is None else value
+
+    input_series = metrics.series(job_id, "input_rate_mb")
+    input_rate = input_series.average_over(RATE_WINDOW, now)
+    if input_rate is None:
+        input_rate = latest("input_rate_mb")
+
+    oom_series = metrics.series(job_id, "oom_events")
+    oom_recently = bool(oom_series.values_in(now - oom_window, now))
+
+    return JobSnapshot(
+        job_id=job_id,
+        time=now,
+        task_count=int(config.get(KEY_TASK_COUNT, 1)),
+        threads=int(config.get(KEY_THREADS, 1)),
+        task_count_limit=int(config.get(KEY_TASK_COUNT_LIMIT, 32)),
+        memory_per_task_gb=float(resources.get("memory_gb", 0.0)),
+        cpu_per_task=float(resources.get("cpu", 0.0)),
+        stateful=bool(config.get(KEY_STATEFUL, False)),
+        state_key_cardinality=int(config.get(KEY_STATE_KEY_CARDINALITY, 0)),
+        priority=Priority(int(config.get(KEY_PRIORITY, Priority.NORMAL))),
+        slo_lag_seconds=float(slo.get("max_lag_seconds", 90.0)),
+        slo_recovery_seconds=float(slo.get("recovery_seconds", 3600.0)),
+        input_rate_mb=float(input_rate),
+        processing_rate_mb=latest("processing_rate_mb"),
+        backlog_mb=latest("bytes_lagged_mb"),
+        time_lagged=latest("time_lagged"),
+        task_rate_stdev=latest("task_rate_stdev"),
+        oom_recently=oom_recently,
+        running_tasks=int(latest("running_tasks")),
+        input_partitions=input_partitions,
+    )
+
+
+def bootstrap_rate_hint(config: Dict[str, Any]) -> float:
+    """The staging-period performance hint for ``P`` (MB/s per thread).
+
+    "Initially, P can be bootstrapped during the staging period (a
+    pre-production phase for application correctness verification and
+    performance profiling)" — the provisioner config carries the profiled
+    value.
+    """
+    return float(config.get(KEY_PERF, {}).get("rate_per_thread_mb", 2.0))

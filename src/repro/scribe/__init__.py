@@ -1,0 +1,22 @@
+"""Scribe substrate — a simulated persistent message bus.
+
+"The communication between jobs is performed through Facebook's persistent
+message bus called Scribe ... Each task of a job reads one or several
+disjoint data partitions from Scribe, maintains its own state and
+checkpoint, and writes to another set of Scribe partitions. Hence, a failed
+task can recover independently of other tasks by restoring its own state and
+resuming reading Scribe partitions from its own checkpoint." (paper
+section II).
+
+The properties the control plane depends on — replayable offsets, disjoint
+partitions, checkpoint-based recovery, no inter-task dependencies — are all
+preserved. Data content is abstracted to byte counts, which is the unit the
+paper's metrics use (``total_bytes_lagged``, processing rate in GB/s).
+"""
+
+from repro.scribe.bus import ScribeBus
+from repro.scribe.category import Category
+from repro.scribe.checkpoints import CheckpointStore
+from repro.scribe.partition import Partition
+
+__all__ = ["ScribeBus", "Category", "Partition", "CheckpointStore"]

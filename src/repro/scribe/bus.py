@@ -1,0 +1,45 @@
+"""The Scribe bus: the registry of categories plus a shared checkpoint store."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ScribeError
+from repro.scribe.category import Category
+from repro.scribe.checkpoints import CheckpointStore
+
+
+class ScribeBus:
+    """All categories in one region, plus the checkpoint store."""
+
+    def __init__(self) -> None:
+        self.categories: Dict[str, Category] = {}
+        self.checkpoints = CheckpointStore()
+
+    def create_category(self, name: str, num_partitions: int) -> Category:
+        """Create a new category; names are unique."""
+        if name in self.categories:
+            raise ScribeError(f"category {name} already exists")
+        category = Category(name, num_partitions)
+        self.categories[name] = category
+        return category
+
+    def get_category(self, name: str) -> Category:
+        """Look up a category by name."""
+        try:
+            return self.categories[name]
+        except KeyError:
+            raise ScribeError(f"unknown category {name}") from None
+
+    def ensure_category(self, name: str, num_partitions: int) -> Category:
+        """Get the category, creating it if missing (idempotent provision)."""
+        if name in self.categories:
+            return self.categories[name]
+        return self.create_category(name, num_partitions)
+
+    def category_names(self) -> List[str]:
+        """All category names, sorted for deterministic iteration."""
+        return sorted(self.categories)
+
+    def __repr__(self) -> str:
+        return f"ScribeBus(categories={len(self.categories)})"

@@ -1,0 +1,64 @@
+"""A single Scribe partition.
+
+A partition is an append-only byte stream addressed by offset. Producers
+append; consumers read from an offset they manage themselves (via the
+checkpoint store). The partition never forgets data — Scribe is persistent —
+so any offset at or below the head is always readable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ScribeError
+
+
+class Partition:
+    """An append-only stream measured in bytes."""
+
+    __slots__ = ("partition_id", "_head")
+
+    def __init__(self, partition_id: str) -> None:
+        self.partition_id = partition_id
+        self._head: float = 0.0
+
+    @property
+    def head(self) -> float:
+        """Total bytes ever appended (the write frontier)."""
+        return self._head
+
+    def append(self, num_bytes: float) -> float:
+        """Append ``num_bytes`` and return the new head offset."""
+        if num_bytes < 0:
+            raise ScribeError(
+                f"cannot append negative bytes to {self.partition_id}: {num_bytes}"
+            )
+        self._head += num_bytes
+        return self._head
+
+    def available(self, offset: float) -> float:
+        """Bytes readable from ``offset`` (0 when the reader is caught up)."""
+        self._check_offset(offset)
+        return self._head - offset
+
+    def read(self, offset: float, max_bytes: float) -> float:
+        """Bytes a reader at ``offset`` consumes given a ``max_bytes`` budget.
+
+        Returns the number of bytes read (the caller advances its own
+        checkpoint by this amount). Reading never blocks: if less than
+        ``max_bytes`` is available, the reader gets what exists.
+        """
+        if max_bytes < 0:
+            raise ScribeError(f"max_bytes must be non-negative: {max_bytes}")
+        return min(max_bytes, self.available(offset))
+
+    def _check_offset(self, offset: float) -> None:
+        if offset < 0:
+            raise ScribeError(
+                f"negative offset {offset} in {self.partition_id}"
+            )
+        if offset > self._head + 1e-6:
+            raise ScribeError(
+                f"offset {offset} beyond head {self._head} in {self.partition_id}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Partition({self.partition_id!r}, head={self._head:g})"

@@ -1,0 +1,82 @@
+"""Event queue for the discrete-event engine.
+
+Events are ordered by ``(time, sequence)``. The sequence number breaks ties
+deterministically: two events scheduled for the same instant fire in the
+order they were scheduled, which keeps runs reproducible regardless of heap
+internals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.types import Seconds
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Comparison is by ``(time, seq)`` only; the callback itself never takes
+    part in ordering.
+    """
+
+    time: Seconds
+    seq: int
+    callback: Callable[[], Any] = field(compare=False)
+    #: Cancelled events stay in the heap but are skipped on pop. This is the
+    #: standard "lazy deletion" idiom for heapq-based schedulers.
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not event.cancelled for event in self._heap)
+
+    def push(self, time: Seconds, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule before time zero: {time}")
+        event = Event(time=float(time), seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[Seconds]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Tuple[Seconds, Callable[[], Any]]:
+        """Remove and return the next live event as ``(time, callback)``."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        return event.time, event.callback
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

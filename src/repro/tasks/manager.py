@@ -1,0 +1,393 @@
+"""The local Task Manager.
+
+"Each Turbine Container runs a local Task Manager that spawns a subset of
+stream processing tasks within that container." (paper section IV). The
+manager:
+
+* refreshes the full task-spec snapshot every 60 seconds and reconciles
+  the tasks of its assigned shards (start / stop / restart on settings
+  change, restart on crash);
+* answers the Shard Manager's ADD_SHARD / DROP_SHARD requests;
+* heartbeats to the Shard Manager, and — if its connection is broken for
+  longer than the 40-second connection timeout — reboots itself *before*
+  the Shard Manager's 60-second fail-over can create a duplicate elsewhere
+  (section IV-C);
+* steps its tasks' data-plane processing and aggregates per-shard loads,
+  reporting them to the Shard Manager every ten minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.container import TurbineContainer
+from repro.cluster.resources import ResourceVector
+from repro.errors import DegradedModeError
+from repro.metrics.store import MetricStore
+from repro.scribe.bus import ScribeBus
+from repro.sim.engine import Engine, Timer
+from repro.tasks.runtime import RunningTask
+from repro.tasks.service import TaskService
+from repro.tasks.shard_manager import ShardManager
+from repro.tasks.spec import TaskSpec
+from repro.types import Seconds, ShardId, TaskId, TaskState
+
+#: "Each task manager has a local refresh thread to periodically (every 60
+#: seconds) fetch from the Task Service."
+REFRESH_INTERVAL: Seconds = 60.0
+
+#: "timeout is configured to 40 seconds, fail-over is 60 seconds".
+CONNECTION_TIMEOUT: Seconds = 40.0
+
+#: Heartbeat period (must be well under the connection timeout).
+HEARTBEAT_INTERVAL: Seconds = 10.0
+
+#: "This refreshed shard load is reported to the Shard Manager every ten
+#: minutes."
+LOAD_REPORT_INTERVAL: Seconds = 600.0
+
+#: Data-plane step period. Coarser steps trade fidelity for speed in
+#: long-horizon benchmarks.
+STEP_INTERVAL: Seconds = 10.0
+
+
+class TaskManager:
+    """Runs the tasks of the shards assigned to one Turbine container."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        container: TurbineContainer,
+        task_service: TaskService,
+        shard_manager: ShardManager,
+        scribe: ScribeBus,
+        metrics: Optional[MetricStore] = None,
+        refresh_interval: Seconds = REFRESH_INTERVAL,
+        heartbeat_interval: Seconds = HEARTBEAT_INTERVAL,
+        connection_timeout: Seconds = CONNECTION_TIMEOUT,
+        step_interval: Seconds = STEP_INTERVAL,
+        load_report_interval: Seconds = LOAD_REPORT_INTERVAL,
+        record_task_metrics: bool = False,
+    ) -> None:
+        self._engine = engine
+        self.container = container
+        self._service = task_service
+        self._shard_manager = shard_manager
+        self._scribe = scribe
+        self._metrics = metrics
+        self._refresh_interval = refresh_interval
+        self._heartbeat_interval = heartbeat_interval
+        self._connection_timeout = connection_timeout
+        self._step_interval = step_interval
+        self._load_report_interval = load_report_interval
+        self._record_task_metrics = record_task_metrics
+
+        self.assigned_shards: set = set()
+        self.tasks: Dict[TaskId, RunningTask] = {}
+        self._task_shard: Dict[TaskId, ShardId] = {}
+        #: Cached shard index for degraded-mode operation.
+        self._cached_index: Dict[ShardId, Dict[TaskId, TaskSpec]] = {}
+        #: Simulated network partition toward the Shard Manager.
+        self.partitioned = False
+        #: Test hooks: make DROP_SHARD / ADD_SHARD hang (raise TimeoutError).
+        self.slow_drop = False
+        self.slow_add = False
+        self._outage_started: Optional[Seconds] = None
+        self._last_step_time: Seconds = engine.now
+        self.reboot_count = 0
+        self.oom_events = 0
+        self._timers: List[Timer] = []
+
+    # ------------------------------------------------------------------
+    # Identity and liveness
+    # ------------------------------------------------------------------
+    @property
+    def container_id(self) -> str:
+        return self.container.container_id
+
+    @property
+    def capacity(self) -> ResourceVector:
+        return self.container.capacity
+
+    @property
+    def region(self) -> str:
+        """Region of the underlying host (for regional placement)."""
+        return self.container.region
+
+    @property
+    def alive(self) -> bool:
+        return self.container.alive
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Register with the Shard Manager and arm all periodic timers."""
+        self._shard_manager.register_container(self)
+        if self._timers:
+            return
+        jitter = self._engine.rng.fork(self.container_id)
+        self._timers = [
+            self._engine.every(
+                self._refresh_interval, self._refresh, name=f"{self.container_id}-refresh",
+                initial_delay=jitter.uniform(0, self._refresh_interval),
+            ),
+            self._engine.every(
+                self._heartbeat_interval, self._heartbeat_tick,
+                name=f"{self.container_id}-heartbeat",
+            ),
+            self._engine.every(
+                self._step_interval, self._step_tasks,
+                name=f"{self.container_id}-step",
+            ),
+            self._engine.every(
+                self._load_report_interval, self._report_loads,
+                name=f"{self.container_id}-load-report",
+                initial_delay=jitter.uniform(0, self._load_report_interval),
+            ),
+        ]
+
+    def shutdown(self) -> None:
+        """Stop all timers and tasks (container decommission)."""
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self._stop_all_tasks()
+
+    # ------------------------------------------------------------------
+    # Shard movement protocol (called by the Shard Manager)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: ShardId) -> None:
+        """ADD_SHARD: adopt a shard and start its tasks."""
+        if not self.alive or self.slow_add:
+            raise TimeoutError(f"{self.container_id} add timed out")
+        self.assigned_shards.add(shard_id)
+        self._reconcile_shard(shard_id)
+
+    def drop_shard(self, shard_id: ShardId) -> None:
+        """DROP_SHARD: stop the shard's tasks and forget it."""
+        if self.slow_drop:
+            raise TimeoutError(f"{self.container_id} drop timed out")
+        self._stop_shard_tasks(shard_id)
+        self.assigned_shards.discard(shard_id)
+
+    def force_kill_shard(self, shard_id: ShardId) -> None:
+        """Forceful kill after a DROP_SHARD timeout (section IV-A2)."""
+        self._stop_shard_tasks(shard_id)
+        self.assigned_shards.discard(shard_id)
+
+    # ------------------------------------------------------------------
+    # Periodic: snapshot refresh and reconciliation
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        if not self.alive:
+            return
+        try:
+            self._cached_index = self._service.shard_index(
+                self._shard_manager.num_shards
+            )
+        except DegradedModeError:
+            # Task Service down: keep operating on the cached snapshot
+            # (paper section IV-D).
+            pass
+        for shard_id in sorted(self.assigned_shards):
+            self._reconcile_shard(shard_id)
+
+    def _reconcile_shard(self, shard_id: ShardId) -> None:
+        """Drive this shard's tasks to match the (cached) spec snapshot."""
+        desired = self._cached_index.get(shard_id, {})
+        # Stop tasks that should no longer run here.
+        for task_id in [
+            tid for tid, sid in self._task_shard.items()
+            if sid == shard_id and tid not in desired
+        ]:
+            self._stop_task(task_id)
+        # Start / restart what should run.
+        for task_id, spec in sorted(desired.items()):
+            existing = self.tasks.get(task_id)
+            if existing is None:
+                self._start_task(spec, shard_id)
+            elif existing.spec.settings_fingerprint() != spec.settings_fingerprint():
+                # "task update ... relatively lightweight": restart with the
+                # new settings, resuming from the committed checkpoints.
+                self._stop_task(task_id)
+                self._start_task(spec, shard_id)
+            elif existing.state == TaskState.CRASHED:
+                existing.restart()
+
+    def _start_task(self, spec: TaskSpec, shard_id: ShardId) -> None:
+        task = RunningTask(spec, self._scribe)
+        self.tasks[spec.task_id] = task
+        self._task_shard[spec.task_id] = shard_id
+        self.container.reserve(spec.task_id, spec.resources)
+
+    def _stop_task(self, task_id: TaskId) -> None:
+        task = self.tasks.pop(task_id, None)
+        if task is None:
+            return
+        task.stop()
+        self._task_shard.pop(task_id, None)
+        if task_id in self.container.reservations:
+            self.container.release(task_id)
+
+    def stop_job_tasks(self, job_id: str) -> int:
+        """Synchronously stop every task of one job (complex-sync phase 1).
+
+        Returns how many tasks were stopped.
+        """
+        doomed = [
+            task_id
+            for task_id, task in self.tasks.items()
+            if task.spec.job_id == job_id
+        ]
+        for task_id in doomed:
+            self._stop_task(task_id)
+        return len(doomed)
+
+    def _stop_shard_tasks(self, shard_id: ShardId) -> None:
+        for task_id in [
+            tid for tid, sid in self._task_shard.items() if sid == shard_id
+        ]:
+            self._stop_task(task_id)
+
+    def _stop_all_tasks(self) -> None:
+        for task_id in list(self.tasks):
+            self._stop_task(task_id)
+
+    # ------------------------------------------------------------------
+    # Periodic: heartbeat and the 40-second connection timeout
+    # ------------------------------------------------------------------
+    def _heartbeat_tick(self) -> None:
+        if not self.alive:
+            return
+        if self.partitioned or not self._shard_manager.available:
+            self._note_connection_failure()
+            return
+        try:
+            self._shard_manager.heartbeat(self.container_id)
+        except DegradedModeError:
+            self._note_connection_failure()
+            return
+        self._outage_started = None
+
+    def _note_connection_failure(self) -> None:
+        now = self._engine.now
+        if self._outage_started is None:
+            self._outage_started = now
+            return
+        if now - self._outage_started >= self._connection_timeout:
+            self.reboot()
+
+    def reboot(self) -> None:
+        """Self-reboot after the proactive connection timeout.
+
+        All tasks stop (so a fail-over elsewhere cannot duplicate them) and
+        local shard state clears. On reconnect, the container either gets
+        its old shards back (fail-over did not happen yet) or rejoins as an
+        empty container (section IV-C).
+        """
+        self._stop_all_tasks()
+        self.assigned_shards.clear()
+        self.reboot_count += 1
+        self._outage_started = None
+        self.container.reboot()
+        self._engine.call_in(0.0, self._try_reconnect)
+
+    def _try_reconnect(self) -> None:
+        if not self.alive:
+            return
+        if self.partitioned or not self._shard_manager.available:
+            # Still cut off; try again on the heartbeat cadence.
+            self._engine.call_in(self._heartbeat_interval, self._try_reconnect)
+            return
+        self._shard_manager.register_container(self)
+        # Whatever shards the Shard Manager still maps here are re-adopted;
+        # if fail-over already moved them, this list is empty.
+        for shard_id in self._shard_manager.shards_of(self.container_id):
+            self.add_shard(shard_id)
+
+    # ------------------------------------------------------------------
+    # Periodic: data-plane stepping
+    # ------------------------------------------------------------------
+    def _step_tasks(self) -> None:
+        now = self._engine.now
+        dt = now - self._last_step_time
+        self._last_step_time = now
+        if not self.alive or dt <= 0:
+            return
+        # Contention model: the container's cgroup CPU limit is shared.
+        # When the tasks collectively want more cores than the container
+        # has, everyone slows down proportionally — this is what produces
+        # lag on hot containers (the paper's Fig. 7 observation).
+        throttle = 1.0
+        capacity_cpu = self.container.capacity.cpu
+        if capacity_cpu > 0:
+            desired = sum(
+                task.desired_cores(dt) for task in self.tasks.values()
+            )
+            if desired > capacity_cpu:
+                throttle = capacity_cpu / desired
+        for task_id, task in self.tasks.items():
+            was_running = task.state == TaskState.RUNNING
+            task.step(dt, throttle=throttle)
+            if was_running and task.state == TaskState.CRASHED:
+                self._handle_oom(task)
+            if self._record_task_metrics and self._metrics is not None:
+                self._metrics.record(task_id, "cpu_used", now, task.last_cpu_used)
+                self._metrics.record(
+                    task_id, "memory_gb", now, task.memory_needed_gb()
+                )
+                self._metrics.record(task_id, "rate_mb", now, task.last_rate_mb)
+
+    def _handle_oom(self, task: RunningTask) -> None:
+        """Read preserved OOM stats and post them to the metric system
+        (paper section V-A); restart the task from its checkpoint."""
+        self.oom_events += 1
+        if self._metrics is not None:
+            self._metrics.record(
+                task.spec.job_id, "oom_events", self._engine.now, 1.0
+            )
+        task.restart()
+
+    # ------------------------------------------------------------------
+    # Periodic: shard load aggregation
+    # ------------------------------------------------------------------
+    def _report_loads(self) -> None:
+        """Aggregate task usage per shard and report to the Shard Manager.
+
+        "A background load aggregator thread in each Task Manager collects
+        the task resource usage metrics and aggregates them to calculate
+        the latest shard load." (section IV-B).
+        """
+        if not self.alive or self.partitioned or not self._shard_manager.available:
+            return
+        per_shard: Dict[ShardId, ResourceVector] = {}
+        for task_id, task in self.tasks.items():
+            shard_id = self._task_shard[task_id]
+            usage = ResourceVector(
+                cpu=task.last_cpu_used,
+                memory_gb=task.memory_needed_gb(),
+                disk_gb=task.disk_needed_gb(),
+            )
+            per_shard[shard_id] = per_shard.get(
+                shard_id, ResourceVector.zero()
+            ) + usage
+        for shard_id, load in per_shard.items():
+            self._shard_manager.report_shard_load(shard_id, load)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def running_task_ids(self) -> List[TaskId]:
+        """Tasks currently in RUNNING state (sorted)."""
+        return sorted(
+            task_id
+            for task_id, task in self.tasks.items()
+            if task.state == TaskState.RUNNING
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskManager({self.container_id!r}, "
+            f"shards={len(self.assigned_shards)}, tasks={len(self.tasks)})"
+        )

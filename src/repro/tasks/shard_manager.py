@@ -1,0 +1,327 @@
+"""The Shard Manager.
+
+Facebook's Shard Manager ("similar to Google's Slicer", paper section IV-A)
+offers balanced assignment of shards to containers. This implementation
+covers the three roles the paper describes:
+
+* **Placement** — owns the shard-to-container mapping and regenerates it
+  periodically (default every 30 minutes) from the latest shard loads via
+  the bin-packing balancer.
+* **Movement** — executes DROP_SHARD/ADD_SHARD against the source and
+  destination Task Managers, dropping before adding so two containers never
+  run the same shard. Requests that "take too long" trigger a forced kill.
+* **Failure handling** — a bi-directional heartbeat protocol: a container
+  whose heartbeat is older than the fail-over interval (60 s) is declared
+  dead and its shards are re-placed. Task Managers time their connections
+  out *earlier* (40 s) and reboot, which is what prevents split-brain
+  duplicate tasks (section IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import DegradedModeError, PlacementError
+from repro.sim.engine import Engine, Timer
+from repro.tasks.balancer import DEFAULT_BAND, compute_assignment
+from repro.tasks.shard import all_shard_ids
+from repro.types import ContainerId, Seconds, ShardId
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tasks.manager import TaskManager
+
+#: "default is 60 seconds" — heartbeat age at which a container is
+#: declared dead.
+FAILOVER_INTERVAL: Seconds = 60.0
+
+#: How often the Shard Manager scans for stale heartbeats.
+FAILOVER_CHECK_INTERVAL: Seconds = 10.0
+
+#: "30 minutes for most of our tiers" — mapping regeneration period.
+REBALANCE_INTERVAL: Seconds = 1800.0
+
+#: Load assumed for a shard that has never reported (placement still needs
+#: a value); tiny but non-zero so empty shards spread out.
+DEFAULT_SHARD_LOAD = ResourceVector(cpu=0.01, memory_gb=0.05)
+
+
+@dataclass
+class FailoverEvent:
+    """Record of one container fail-over (for tests and benchmarks)."""
+
+    time: Seconds
+    container_id: ContainerId
+    shards_moved: int
+
+
+class ShardManager:
+    """Owns shard placement, movement, and container failure detection."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        num_shards: int,
+        failover_interval: Seconds = FAILOVER_INTERVAL,
+        rebalance_interval: Seconds = REBALANCE_INTERVAL,
+        band: float = DEFAULT_BAND,
+    ) -> None:
+        if num_shards <= 0:
+            raise PlacementError(f"num_shards must be positive: {num_shards}")
+        self._engine = engine
+        self.num_shards = num_shards
+        self.failover_interval = failover_interval
+        self.rebalance_interval = rebalance_interval
+        self.band = band
+        #: The authoritative mapping.
+        self.assignment: Dict[ShardId, ContainerId] = {}
+        #: Latest reported loads.
+        self.shard_loads: Dict[ShardId, ResourceVector] = {}
+        #: Regional placement requirements per shard (section IV-B:
+        #: "satisfying regional constraints").
+        self.shard_regions: Dict[ShardId, str] = {}
+        self._managers: Dict[ContainerId, "TaskManager"] = {}
+        self._heartbeats: Dict[ContainerId, Seconds] = {}
+        self.failover_events: List[FailoverEvent] = []
+        self.rebalance_count = 0
+        #: When False the Shard Manager is down: no placement changes, no
+        #: failovers; Task Managers keep their shards (degraded mode).
+        self.available = True
+        #: When False, periodic rebalancing is skipped (the Fig. 7
+        #: experiment toggles this).
+        self.balancing_enabled = True
+        self._timers: List[Timer] = []
+
+    # ------------------------------------------------------------------
+    # Container registration and heartbeats
+    # ------------------------------------------------------------------
+    def register_container(self, manager: "TaskManager") -> None:
+        """A new (or rebooted-and-reconnected) container joins the tier."""
+        self._managers[manager.container_id] = manager
+        self._heartbeats[manager.container_id] = self._engine.now
+
+    def unregister_container(self, container_id: ContainerId) -> None:
+        """A container leaves the tier (decommission)."""
+        self._managers.pop(container_id, None)
+        self._heartbeats.pop(container_id, None)
+
+    def heartbeat(self, container_id: ContainerId) -> None:
+        """Record a Task Manager heartbeat.
+
+        Raises :class:`DegradedModeError` when the Shard Manager is down —
+        the Task Manager treats that as a connection failure and starts its
+        own 40-second timeout clock.
+        """
+        if not self.available:
+            raise DegradedModeError("Shard Manager is unavailable")
+        if container_id not in self._managers:
+            raise DegradedModeError(
+                f"container {container_id} is not registered"
+            )
+        self._heartbeats[container_id] = self._engine.now
+
+    def shards_of(self, container_id: ContainerId) -> List[ShardId]:
+        """Shards currently assigned to a container (sorted)."""
+        return sorted(
+            shard_id
+            for shard_id, owner in self.assignment.items()
+            if owner == container_id
+        )
+
+    # ------------------------------------------------------------------
+    # Load reports
+    # ------------------------------------------------------------------
+    def report_shard_load(self, shard_id: ShardId, load: ResourceVector) -> None:
+        """Receive an aggregated shard load from a Task Manager."""
+        self.shard_loads[shard_id] = load
+
+    def pin_shard_to_region(self, shard_id: ShardId, region: str) -> None:
+        """Require a shard to live on containers of the given region."""
+        self.shard_regions[shard_id] = region
+
+    def unpin_shard(self, shard_id: ShardId) -> None:
+        self.shard_regions.pop(shard_id, None)
+
+    # ------------------------------------------------------------------
+    # Periodic operation
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the failover-check and rebalance timers."""
+        if self._timers:
+            return
+        self._timers.append(
+            self._engine.every(
+                FAILOVER_CHECK_INTERVAL, self.check_failovers,
+                name="shard-manager-failover",
+            )
+        )
+        self._timers.append(
+            self._engine.every(
+                self.rebalance_interval, self.rebalance,
+                name="shard-manager-rebalance",
+            )
+        )
+
+    def stop(self) -> None:
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def initial_placement(self) -> None:
+        """Assign every shard in the tier to the registered containers."""
+        self.rebalance(initial=True)
+
+    def rebalance(self, initial: bool = False) -> None:
+        """Regenerate the mapping from the latest loads and move shards.
+
+        Skipped when the Shard Manager is degraded or balancing is
+        disabled (unless this is the initial placement).
+        """
+        if not self.available:
+            return
+        if not self.balancing_enabled and not initial:
+            return
+        live = self._live_containers()
+        if not live:
+            return
+        capacities = {
+            container_id: manager.capacity
+            for container_id, manager in live.items()
+        }
+        loads = {
+            shard_id: self.shard_loads.get(shard_id, DEFAULT_SHARD_LOAD)
+            for shard_id in all_shard_ids(self.num_shards)
+        }
+        current = {
+            shard_id: owner
+            for shard_id, owner in self.assignment.items()
+            if owner in live
+        }
+        change = compute_assignment(
+            loads, capacities, current=current, band=self.band,
+            container_regions={
+                cid: manager.region for cid, manager in live.items()
+            },
+            shard_regions=self.shard_regions,
+        )
+        self.rebalance_count += 1
+        for shard_id, source, destination in change.moves:
+            self._move_shard(shard_id, source, destination)
+
+    def _move_shard(
+        self,
+        shard_id: ShardId,
+        source: Optional[ContainerId],
+        destination: ContainerId,
+    ) -> None:
+        """The DROP_SHARD → update map → ADD_SHARD protocol (section IV-A2)."""
+        source_manager = self._managers.get(source) if source else None
+        if source_manager is not None and source_manager.alive:
+            try:
+                source_manager.drop_shard(shard_id)
+            except TimeoutError:
+                # "If a DROP_SHARD request takes too long, Turbine
+                # forcefully kills the corresponding tasks."
+                source_manager.force_kill_shard(shard_id)
+        self.assignment[shard_id] = destination
+        destination_manager = self._managers.get(destination)
+        if destination_manager is not None and destination_manager.alive:
+            try:
+                destination_manager.add_shard(shard_id)
+            except TimeoutError:
+                # "... or initiates a Turbine container fail-over process."
+                self._fail_over_container(destination)
+
+    # ------------------------------------------------------------------
+    # Failure detection
+    # ------------------------------------------------------------------
+    def check_failovers(self) -> None:
+        """Declare containers with stale heartbeats dead and re-place
+        their shards."""
+        if not self.available:
+            return
+        now = self._engine.now
+        stale = [
+            container_id
+            for container_id, last in self._heartbeats.items()
+            if now - last >= self.failover_interval
+        ]
+        for container_id in stale:
+            self._fail_over_container(container_id)
+
+    def _fail_over_container(self, container_id: ContainerId) -> None:
+        """Move every shard off a failed container onto live ones.
+
+        If the container is still alive (an unresponsive-but-running
+        Turbine container, e.g. a timed-out ADD_SHARD), it is rebooted
+        first so its old tasks stop before their shards start elsewhere —
+        otherwise the fail-over itself would create duplicates.
+        """
+        manager = self._managers.get(container_id)
+        if manager is not None and manager.alive:
+            manager.reboot()
+        orphaned = self.shards_of(container_id)
+        self.unregister_container(container_id)
+        live = self._live_containers()
+        if not live:
+            # No capacity anywhere: shards stay mapped to the dead
+            # container and will be picked up at the next rebalance.
+            self.failover_events.append(
+                FailoverEvent(self._engine.now, container_id, 0)
+            )
+            return
+        capacities = {
+            cid: manager.capacity for cid, manager in live.items()
+        }
+        loads = {
+            shard_id: self.shard_loads.get(shard_id, DEFAULT_SHARD_LOAD)
+            for shard_id in orphaned
+        }
+        current_live_loads: Dict[ShardId, ContainerId] = {
+            shard_id: owner
+            for shard_id, owner in self.assignment.items()
+            if owner in live
+        }
+        # Place only the orphaned shards; existing placements are the
+        # starting load of each container.
+        placement = compute_assignment(
+            {**{s: self.shard_loads.get(s, DEFAULT_SHARD_LOAD)
+                for s in current_live_loads}, **loads},
+            capacities,
+            current=current_live_loads,
+            band=self.band,
+            container_regions={
+                cid: manager.region for cid, manager in live.items()
+            },
+            shard_regions=self.shard_regions,
+        )
+        moved = 0
+        for shard_id in orphaned:
+            destination = placement.assignment[shard_id]
+            self._move_shard(shard_id, None, destination)
+            moved += 1
+        self.failover_events.append(
+            FailoverEvent(self._engine.now, container_id, moved)
+        )
+
+    def live_managers(self) -> List["TaskManager"]:
+        """All live registered Task Managers (sorted by container id)."""
+        live = self._live_containers()
+        return [live[container_id] for container_id in sorted(live)]
+
+    def _live_containers(self) -> Dict[ContainerId, "TaskManager"]:
+        return {
+            container_id: manager
+            for container_id, manager in self._managers.items()
+            if manager.alive
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardManager(shards={self.num_shards}, "
+            f"containers={len(self._managers)})"
+        )

@@ -1,0 +1,125 @@
+"""Task specifications.
+
+"A Task Spec includes all configurations necessary to run a task, such as
+package version, arguments, and number of threads." (paper section IV).
+Specs are generated from a job's committed configuration by the Task
+Service, one per task index, and are the unit the local Task Managers
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.cluster.resources import ResourceVector
+from repro.errors import TurbineError
+from repro.jobs.model import (
+    KEY_INPUT,
+    KEY_MEMORY_OVERHEAD,
+    KEY_PACKAGE,
+    KEY_PERF,
+    KEY_PRIORITY,
+    KEY_RESOURCES,
+    KEY_STATE_KEY_CARDINALITY,
+    KEY_STATEFUL,
+    KEY_TASK_COUNT,
+    KEY_THREADS,
+)
+from repro.types import JobId, Priority, TaskId
+
+
+def task_id_for(job_id: JobId, task_index: int) -> TaskId:
+    """Canonical task id: ``"<job_id>:<index>"``."""
+    return f"{job_id}:{task_index}"
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Everything a Task Manager needs to run one task."""
+
+    task_id: TaskId
+    job_id: JobId
+    task_index: int
+    task_count: int
+    package_name: str
+    package_version: str
+    threads: int
+    resources: ResourceVector
+    input_category: str
+    output_category: str = ""
+    #: Output bytes per processed input byte.
+    output_ratio: float = 1.0
+    stateful: bool = False
+    priority: Priority = Priority.NORMAL
+    #: Ground-truth max stable processing rate per thread (MB/s) — used by
+    #: the simulated runtime, opaque to the control plane.
+    rate_per_thread_mb: float = 2.0
+    state_key_cardinality: int = 0
+    #: Constant per-task memory extra (message-size buffering), GB.
+    memory_overhead_gb: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.task_index < self.task_count:
+            raise TurbineError(
+                f"task index {self.task_index} out of range "
+                f"for {self.task_count} tasks"
+            )
+
+    @classmethod
+    def from_job_config(
+        cls, job_id: JobId, task_index: int, config: Dict[str, Any]
+    ) -> "TaskSpec":
+        """Generate the spec for one task from a committed job config.
+
+        This is the "dynamic generation ... considering the job's
+        parallelism level and applying other template substitutions"
+        of section IV.
+        """
+        package = config.get(KEY_PACKAGE, {})
+        perf = config.get(KEY_PERF, {})
+        output = config.get("output", {})
+        return cls(
+            output_category=output.get("category", ""),
+            output_ratio=float(output.get("ratio", 1.0)),
+            task_id=task_id_for(job_id, task_index),
+            job_id=job_id,
+            task_index=task_index,
+            task_count=int(config.get(KEY_TASK_COUNT, 1)),
+            package_name=package.get("name", "stream_engine"),
+            package_version=package.get("version", "1.0"),
+            threads=int(config.get(KEY_THREADS, 1)),
+            resources=ResourceVector.from_dict(config.get(KEY_RESOURCES, {})),
+            input_category=config.get(KEY_INPUT, {}).get("category", ""),
+            stateful=bool(config.get(KEY_STATEFUL, False)),
+            priority=Priority(int(config.get(KEY_PRIORITY, Priority.NORMAL))),
+            rate_per_thread_mb=float(perf.get("rate_per_thread_mb", 2.0)),
+            state_key_cardinality=int(config.get(KEY_STATE_KEY_CARDINALITY, 0)),
+            memory_overhead_gb=float(config.get(KEY_MEMORY_OVERHEAD, 0.0)),
+        )
+
+    #: Specs are hashable on task_id + package version so managers can
+    #: detect "same task, new settings" cheaply.
+    def settings_fingerprint(self) -> tuple:
+        """A tuple identifying the runtime-relevant settings of this spec.
+
+        When the fingerprint of a task's spec changes, the Task Manager
+        must restart the task to pick up the new settings.
+        """
+        return (
+            self.package_name,
+            self.package_version,
+            self.threads,
+            self.task_count,
+            self.resources,
+            self.input_category,
+            self.output_category,
+            self.rate_per_thread_mb,
+        )
+
+
+#: Sentinel container capacity fraction: "the upper limit of vertical
+#: scaling is set to a portion of resources available in a single container
+#: (typically 1/5) to keep each task fine-grained enough to move"
+#: (paper section V-E).
+VERTICAL_LIMIT_FRACTION = 0.2

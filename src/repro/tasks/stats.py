@@ -1,0 +1,165 @@
+"""Job-level statistics collection.
+
+Computes, per job, the metrics the Auto Scaler's symptom detectors consume
+(paper section V-A):
+
+* ``input_rate_mb`` — MB/s arriving in the job's input category;
+* ``processing_rate_mb`` — MB/s the job's tasks actually processed;
+* ``bytes_lagged_mb`` — bytes available but not yet ingested;
+* ``time_lagged`` — equation (1): ``total_bytes_lagged / processing_rate``;
+* ``task_rate_stdev`` — imbalance measure, "the standard deviation of
+  processing rate across all the tasks belonging to the same job";
+* ``running_tasks`` — live task count (availability dashboards).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.metrics.aggregate import stdev
+from repro.metrics.store import MetricStore
+from repro.scribe.bus import ScribeBus
+from repro.sim.engine import Engine, Timer
+from repro.tasks.runtime import RunningTask
+from repro.tasks.service import TaskService
+from repro.tasks.shard_manager import ShardManager
+from repro.types import JobId, Seconds, TaskState
+
+#: Collection period: once a minute, like the paper's per-minute workload
+#: metrics (section V-C).
+COLLECT_INTERVAL: Seconds = 60.0
+
+#: time_lagged stand-in when the job has backlog but zero throughput.
+INFINITE_LAG: float = 1e9
+
+
+class JobStatsCollector:
+    """Periodically derives job-level metrics from the data plane."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        task_service: TaskService,
+        shard_manager: ShardManager,
+        scribe: ScribeBus,
+        metrics: MetricStore,
+        interval: Seconds = COLLECT_INTERVAL,
+    ) -> None:
+        self._engine = engine
+        self._service = task_service
+        self._shard_manager = shard_manager
+        self._scribe = scribe
+        self._metrics = metrics
+        self._interval = interval
+        self._last_heads: Dict[JobId, float] = {}
+        self._last_processed: Dict[JobId, float] = {}
+        self._last_time: Optional[Seconds] = None
+        self._timer: Optional[Timer] = None
+
+    def start(self) -> None:
+        """Arm the periodic collection timer."""
+        if self._timer is None:
+            self._timer = self._engine.every(
+                self._interval, self.collect_once, name="job-stats"
+            )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # One collection round
+    # ------------------------------------------------------------------
+    def collect_once(self) -> None:
+        """Compute and record metrics for every job with specs."""
+        now = self._engine.now
+        dt = now - self._last_time if self._last_time is not None else None
+        tasks_by_job = self._tasks_by_job()
+
+        for job_id in self._service.job_ids():
+            specs = self._service.specs_of(job_id)
+            if not specs:
+                continue
+            category_name = specs[0].input_category
+            tasks = tasks_by_job.get(job_id, [])
+            self._collect_job(job_id, category_name, tasks, now, dt)
+        self._last_time = now
+
+    def _collect_job(
+        self,
+        job_id: JobId,
+        category_name: str,
+        tasks: List[RunningTask],
+        now: Seconds,
+        dt: Optional[Seconds],
+    ) -> None:
+        record = self._metrics.record
+        head = 0.0
+        lagged = 0.0
+        if category_name:
+            category = self._scribe.get_category(category_name)
+            head = category.total_head()
+            checkpoints = self._scribe.checkpoints
+            lagged = sum(
+                partition.available(
+                    checkpoints.get(job_id, partition.partition_id)
+                )
+                for partition in category.partitions
+            )
+        processed_total = sum(task.total_processed_mb for task in tasks)
+
+        if dt is not None and dt > 0:
+            input_rate = (head - self._last_heads.get(job_id, head)) / dt
+            processing_rate = (
+                processed_total - self._last_processed.get(job_id, processed_total)
+            ) / dt
+            # The pattern analyzer needs 14 days of per-minute input rates
+            # (paper section V-C); give this series a longer retention.
+            self._metrics.series(
+                job_id, "input_rate_mb", retention=15 * 86400.0
+            ).record(now, max(0.0, input_rate))
+            record(job_id, "processing_rate_mb", now, max(0.0, processing_rate))
+            # Equation (1)'s denominator is what the job *can* process per
+            # second. The instantaneous rate dips to zero during routine
+            # restarts (package pushes, parallelism changes); using the
+            # recent processing capability avoids phantom infinite lag.
+            rate_basis = max(0.0, processing_rate)
+            if rate_basis <= 1e-9:
+                recent = self._metrics.series(
+                    job_id, "processing_rate_mb"
+                ).average_over(900.0, now)
+                rate_basis = recent or 0.0
+            if lagged <= 1e-9:
+                time_lagged = 0.0
+            elif rate_basis > 1e-9:
+                time_lagged = lagged / rate_basis
+            else:
+                time_lagged = INFINITE_LAG
+            record(job_id, "time_lagged", now, time_lagged)
+        self._last_heads[job_id] = head
+        self._last_processed[job_id] = processed_total
+
+        record(job_id, "bytes_lagged_mb", now, lagged)
+        running = [t for t in tasks if t.state == TaskState.RUNNING]
+        record(job_id, "running_tasks", now, float(len(running)))
+        if running:
+            record(
+                job_id, "task_rate_stdev", now,
+                stdev([task.last_rate_mb for task in running]),
+            )
+            record(
+                job_id, "task_memory_max_gb", now,
+                max(task.memory_needed_gb() for task in running),
+            )
+            record(
+                job_id, "task_cpu_mean", now,
+                sum(task.last_cpu_used for task in running) / len(running),
+            )
+
+    def _tasks_by_job(self) -> Dict[JobId, List[RunningTask]]:
+        grouped: Dict[JobId, List[RunningTask]] = {}
+        for manager in self._shard_manager.live_managers():
+            for task in manager.tasks.values():
+                grouped.setdefault(task.spec.job_id, []).append(task)
+        return grouped

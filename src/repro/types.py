@@ -1,0 +1,85 @@
+"""Shared value types and type aliases used across the Turbine layers.
+
+Keeping these in one module avoids circular imports between the job, task,
+and resource management packages, which all refer to the same identifiers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Simulation time, in seconds since the start of the run.
+Seconds = float
+
+#: Identifier of a job (what to run). Jobs are named by their pipeline.
+JobId = str
+
+#: Identifier of a single task of a job, e.g. ``"scuba/ads_metrics:3"``.
+TaskId = str
+
+#: Identifier of a shard — the unit of placement and movement.
+ShardId = str
+
+#: Identifier of a Turbine container (the parent container on a host).
+ContainerId = str
+
+#: Identifier of a physical host in the cluster.
+HostId = str
+
+
+class JobState(enum.Enum):
+    """Lifecycle state of a job in the Job Store."""
+
+    #: Provisioned and expected to be running.
+    RUNNING = "running"
+    #: Deliberately stopped (e.g. by an oncall or the capacity manager).
+    STOPPED = "stopped"
+    #: Failed synchronization repeatedly; awaiting human investigation.
+    QUARANTINED = "quarantined"
+    #: Removed; retained only for audit.
+    DELETED = "deleted"
+
+
+class TaskState(enum.Enum):
+    """Lifecycle state of a task instance inside a Turbine container."""
+
+    STARTING = "starting"
+    RUNNING = "running"
+    STOPPING = "stopping"
+    STOPPED = "stopped"
+    CRASHED = "crashed"
+
+
+class Priority(enum.IntEnum):
+    """Business priority of a job; higher values preempt lower ones.
+
+    The Capacity Manager stops lower priority jobs as a last resort to
+    unblock higher priority ones (paper section V-F).
+    """
+
+    LOW = 0
+    NORMAL = 1
+    HIGH = 2
+    CRITICAL = 3
+
+
+@dataclass(frozen=True)
+class SLO:
+    """Service level objective for a streaming job.
+
+    Attributes:
+        max_lag_seconds: maximum tolerated end-to-end processing lag. The
+            paper's motivating example is a 90-second guarantee.
+        recovery_seconds: target time to drain a backlog after an incident
+            (used by the scaler's equation 3 to budget recovery CPU).
+    """
+
+    max_lag_seconds: float = 90.0
+    recovery_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_lag_seconds <= 0:
+            raise ValueError("max_lag_seconds must be positive")
+        if self.recovery_seconds <= 0:
+            raise ValueError("recovery_seconds must be positive")

@@ -1,0 +1,15 @@
+"""Data Warehouse substrate.
+
+Fig. 2 shows the provisioning pipeline emitting a *batch* graph alongside
+the stream graph: "A query can be executed in batch mode and/or in
+streaming mode. The batch mode is useful when processing historical data,
+and it uses systems and data from our Data Warehouse."
+
+This package simulates the warehouse: named tables with daily partitions
+measured in MB, enough for the batch runner to plan and execute backfills
+over historical ranges.
+"""
+
+from repro.warehouse.tables import DataWarehouse, WarehouseTable
+
+__all__ = ["DataWarehouse", "WarehouseTable"]

@@ -1,0 +1,87 @@
+"""Traffic spikes and input skew.
+
+Fig. 7's instability is "caused by traffic spikes in the input of some
+jobs"; imbalanced input (section V-A) is producer skew across partitions.
+Both are modelled as time-windowed modifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.types import Seconds
+from repro.workloads.diurnal import RateFn
+
+
+@dataclass(frozen=True)
+class Spike:
+    """One multiplicative traffic spike over ``[start, end)``."""
+
+    start: Seconds
+    end: Seconds
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("spike end must be after start")
+        if self.factor < 0:
+            raise ValueError("spike factor must be non-negative")
+
+    def active(self, t: Seconds) -> bool:
+        return self.start <= t < self.end
+
+
+class SpikeSchedule:
+    """A rate function with scheduled multiplicative spikes."""
+
+    def __init__(self, inner: RateFn, spikes: Sequence[Spike] = ()) -> None:
+        self._inner = inner
+        self.spikes: List[Spike] = list(spikes)
+
+    def add(self, start: Seconds, end: Seconds, factor: float) -> None:
+        """Schedule another spike."""
+        self.spikes.append(Spike(start, end, factor))
+
+    def rate(self, t: Seconds) -> float:
+        value = self._inner(t)
+        for spike in self.spikes:
+            if spike.active(t):
+                value *= spike.factor
+        return value
+
+    def __call__(self, t: Seconds) -> float:
+        return self.rate(t)
+
+
+class SkewSchedule:
+    """Time-windowed partition-weight skew for a category.
+
+    Outside the window the split is uniform; inside it, the supplied
+    weights apply. The traffic driver consults :meth:`weights_at` each
+    tick and pushes the result into the category.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int,
+        skewed_weights: Sequence[float],
+        start: Seconds,
+        end: Seconds,
+    ) -> None:
+        if len(skewed_weights) != num_partitions:
+            raise ValueError(
+                f"need {num_partitions} weights, got {len(skewed_weights)}"
+            )
+        if end <= start:
+            raise ValueError("skew end must be after start")
+        self.num_partitions = num_partitions
+        self.skewed_weights = list(skewed_weights)
+        self.start = start
+        self.end = end
+
+    def weights_at(self, t: Seconds) -> Optional[List[float]]:
+        """The weights in force at ``t`` (``None`` = uniform)."""
+        if self.start <= t < self.end:
+            return list(self.skewed_weights)
+        return None

@@ -1,0 +1,51 @@
+"""Storm drills — datacenter traffic redirection.
+
+"Facebook periodically practices disaster recovery drills, known as storms,
+that involve disconnecting an entire data center from the rest of the
+world. During a storm, the traffic from the affected data center is
+redirected to other available data centers." (paper section VI-B2). Fig. 9
+shows the receiving cluster's traffic rising ~16 % at peak.
+"""
+
+from __future__ import annotations
+
+from repro.types import Seconds
+from repro.workloads.diurnal import RateFn
+
+
+class StormSchedule:
+    """A rate function that absorbs redirected traffic during a storm.
+
+    During ``[start, end)`` the rate is multiplied by ``1 + surge`` —
+    the share of the disconnected datacenter's traffic this cluster
+    absorbs (Fig. 9's peak increase is ~0.16).
+    """
+
+    def __init__(
+        self,
+        inner: RateFn,
+        start: Seconds,
+        end: Seconds,
+        surge: float = 0.16,
+    ) -> None:
+        if end <= start:
+            raise ValueError("storm end must be after start")
+        if surge < 0:
+            raise ValueError("surge must be non-negative")
+        self._inner = inner
+        self.start = start
+        self.end = end
+        self.surge = surge
+
+    def active(self, t: Seconds) -> bool:
+        """True while the storm is in progress."""
+        return self.start <= t < self.end
+
+    def rate(self, t: Seconds) -> float:
+        value = self._inner(t)
+        if self.active(t):
+            value *= 1.0 + self.surge
+        return value
+
+    def __call__(self, t: Seconds) -> float:
+        return self.rate(t)

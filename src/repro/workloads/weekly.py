@@ -1,0 +1,44 @@
+"""Weekly traffic modulation.
+
+Production traffic dips at weekends; the pattern analyzer's 14-day
+lookback (rather than, say, 2 days) exists precisely so weekly structure
+is part of "the same time in prior days". This wrapper layers a
+day-of-week factor over any rate function.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.types import Seconds
+from repro.workloads.diurnal import DAY, RateFn
+
+#: Default factors Monday..Sunday: flat weekdays, a weekend dip.
+DEFAULT_WEEK = (1.0, 1.0, 1.0, 1.0, 1.0, 0.7, 0.65)
+
+
+class WeeklyPattern:
+    """A rate function multiplied by a day-of-week factor.
+
+    Day 0 of simulated time is a Monday.
+    """
+
+    def __init__(
+        self, inner: RateFn, factors: Sequence[float] = DEFAULT_WEEK
+    ) -> None:
+        if len(factors) != 7:
+            raise ValueError(f"need 7 day factors, got {len(factors)}")
+        if any(factor < 0 for factor in factors):
+            raise ValueError("day factors must be non-negative")
+        self._inner = inner
+        self.factors = tuple(factors)
+
+    def day_of_week(self, t: Seconds) -> int:
+        """0 = Monday … 6 = Sunday."""
+        return int(t // DAY) % 7
+
+    def rate(self, t: Seconds) -> float:
+        return self._inner(t) * self.factors[self.day_of_week(t)]
+
+    def __call__(self, t: Seconds) -> float:
+        return self.rate(t)

@@ -1,0 +1,49 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.analysis import Table, format_cdf, format_series
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table(["name", "value"])
+        table.add_row("cpu", 1.5)
+        table.add_row("memory_gb", 26)
+        text = table.render()
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "memory_gb" in lines[3]
+        # All rows share the same width.
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row(1.23456)
+        assert "1.235" in table.render()
+
+
+def test_format_series_converts_time():
+    text = format_series("lag", [(3600.0, 1.0), (7200.0, 2.0)], time_unit="h")
+    lines = text.splitlines()
+    assert "series: lag" in lines[0]
+    assert lines[1].strip().startswith("1.000")
+    assert lines[2].strip().startswith("2.000")
+
+
+def test_format_cdf_downsamples():
+    values = list(range(1000))
+    text = format_cdf("cpu", values, points=10)
+    lines = text.splitlines()
+    assert 10 <= len(lines) - 1 <= 13
+    assert lines[-1].endswith("1.0000")
+
+
+def test_format_cdf_empty():
+    assert "empty" in format_cdf("x", [])

@@ -1,0 +1,87 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.cluster import FailureInjector, FailurePlan, TupperwareCluster
+from repro.sim import Engine
+
+
+def setup():
+    engine = Engine(seed=1)
+    cluster = TupperwareCluster()
+    cluster.add_hosts(5)
+    return engine, cluster, FailureInjector(engine, cluster)
+
+
+def test_scripted_failure_and_recovery():
+    engine, cluster, injector = setup()
+    injector.schedule(FailurePlan("host-0", fail_at=10.0, recover_at=20.0))
+    engine.run_until(15.0)
+    assert not cluster.hosts["host-0"].alive
+    engine.run_until(25.0)
+    assert cluster.hosts["host-0"].alive
+    kinds = [(r.kind, r.time) for r in injector.history]
+    assert kinds == [("fail", 10.0), ("recover", 20.0)]
+
+
+def test_failure_without_recovery():
+    engine, cluster, injector = setup()
+    injector.schedule(FailurePlan("host-1", fail_at=5.0))
+    engine.run_until(100.0)
+    assert not cluster.hosts["host-1"].alive
+
+
+def test_recover_before_fail_rejected():
+    with pytest.raises(ValueError):
+        FailurePlan("h", fail_at=10.0, recover_at=5.0)
+
+
+def test_schedule_all():
+    engine, cluster, injector = setup()
+    injector.schedule_all(
+        [FailurePlan("host-0", 1.0), FailurePlan("host-1", 2.0)]
+    )
+    engine.run_until(3.0)
+    assert len(cluster.live_hosts()) == 3
+
+
+def test_failure_of_decommissioned_host_ignored():
+    engine, cluster, injector = setup()
+    injector.schedule(FailurePlan("host-0", fail_at=10.0))
+    cluster.remove_host("host-0")
+    engine.run_until(20.0)  # must not raise
+    assert not injector.history  # nothing recorded for a removed host
+
+
+def test_random_failures_fail_and_recover_hosts():
+    engine, cluster, injector = setup()
+    injector.enable_random_failures(
+        mean_time_between_failures=100.0, mean_time_to_recover=50.0
+    )
+    engine.run_until(2000.0)
+    fails = [r for r in injector.history if r.kind == "fail"]
+    recoveries = [r for r in injector.history if r.kind == "recover"]
+    assert len(fails) >= 5
+    assert len(recoveries) >= 1
+
+
+def test_random_failures_deterministic_per_seed():
+    def run(seed):
+        engine = Engine(seed=seed)
+        cluster = TupperwareCluster()
+        cluster.add_hosts(5)
+        injector = FailureInjector(engine, cluster)
+        injector.enable_random_failures(100.0, 50.0)
+        engine.run_until(1000.0)
+        return [(r.host_id, r.time, r.kind) for r in injector.history]
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)
+
+
+def test_invalid_mtbf_rejected():
+    engine, cluster, injector = setup()
+    with pytest.raises(ValueError):
+        injector.enable_random_failures(0.0, 50.0)
+    with pytest.raises(ValueError):
+        injector.enable_random_failures(100.0, -1.0)

@@ -1,0 +1,56 @@
+"""Job teardown: deprovision must leave no task, spec, or state behind."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.workloads import TrafficDriver
+
+
+def platform_with_jobs():
+    platform = Turbine.create(
+        num_hosts=2, seed=91,
+        config=PlatformConfig(num_shards=16, containers_per_host=2),
+    )
+    platform.start()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    for name in ("keep", "drop"):
+        platform.provision(
+            JobSpec(job_id=name, input_category=f"cat-{name}", task_count=4)
+        )
+        driver.add_source(f"cat-{name}", lambda t: 2.0)
+    driver.start()
+    platform.run_for(minutes=5)
+    return platform
+
+
+def test_deprovision_removes_everything():
+    platform = platform_with_jobs()
+    assert len(platform.tasks_of_job("drop")) == 4
+    platform.deprovision("drop")
+    assert platform.tasks_of_job("drop") == []
+    assert platform.task_service.specs_of("drop") == []
+    assert "drop" not in platform.job_service.job_ids()
+    assert platform.scribe.checkpoints.partitions_of("drop") == []
+    assert platform.metrics.latest("drop", "time_lagged") is None
+    # The surviving job is untouched.
+    platform.run_for(minutes=5)
+    assert len(platform.tasks_of_job("keep")) == 4
+
+
+def test_deprovisioned_job_never_resurrects():
+    platform = platform_with_jobs()
+    platform.deprovision("drop")
+    platform.run_for(minutes=10)  # refreshes, rebalances, syncs...
+    assert platform.tasks_of_job("drop") == []
+
+
+def test_gc_sweeps_orphaned_specs():
+    """If deprovisioning dies between the store delete and the task stop,
+    the State Syncer's next round converges the cluster anyway."""
+    platform = platform_with_jobs()
+    # The "crashed half-way" deprovision: store entry gone, tasks still up.
+    platform.job_service.deprovision("drop")
+    assert platform.tasks_of_job("drop"), "precondition: tasks orphaned"
+    platform.run_for(minutes=2)  # ≥ one syncer round
+    assert platform.tasks_of_job("drop") == []
+    assert platform.task_service.specs_of("drop") == []

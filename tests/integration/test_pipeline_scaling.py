@@ -1,0 +1,85 @@
+"""Capstone: the Auto Scaler keeps a whole provisioned pipeline in SLO.
+
+A two-stage pipeline (filter → shuffle → aggregate) faces a 4x traffic
+ramp. Stage 1's input is stage 0's *output* via the intermediate Scribe
+category, so the scaler must track each stage's own observed traffic —
+there is no global coordinator, exactly as in the paper's architecture.
+"""
+
+import pytest
+
+from repro import PlatformConfig, Turbine
+from repro.provision import (
+    Aggregate,
+    Field,
+    Filter,
+    ProvisionService,
+    Query,
+    Schema,
+    Shuffle,
+    Sink,
+    Source,
+)
+from repro.scaler import AutoScalerConfig
+from repro.workloads import TrafficDriver
+
+EVENTS = Schema.of(
+    Field("key", "int"), Field("valid", "bool"), Field("payload", "string"),
+)
+
+
+def test_pipeline_scales_stage_by_stage():
+    platform = Turbine.create(
+        num_hosts=4, seed=73,
+        config=PlatformConfig(num_shards=64, containers_per_host=2,
+                              step_interval=30.0),
+    )
+    platform.attach_scaler(AutoScalerConfig(interval=120.0))
+    platform.start()
+
+    query = Query(
+        "ramp",
+        Sink(
+            Aggregate(
+                Shuffle(
+                    Filter(Source("events", EVENTS, rate_mb=4.0), "valid",
+                           selectivity=0.5),
+                    "key",
+                ),
+                group_by="key", aggregates=("count",),
+                key_cardinality=100_000,
+            ),
+            "ramp_out",
+        ),
+    )
+    pipeline = ProvisionService().provision(query, platform)
+    stage0, stage1 = (spec.job_id for spec in pipeline.job_specs)
+
+    # Ramp: 4 MB/s for 30 min, then 16 MB/s for 90 min.
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=30.0)
+    ramp_at = platform.now + 1800.0
+    driver.add_source("events", lambda t: 4.0 if t < ramp_at else 16.0)
+    driver.start()
+    platform.run_for(hours=2)
+
+    for job_id in (stage0, stage1):
+        lag = platform.metrics.latest(job_id, "time_lagged")
+        assert lag is not None and lag < 90.0, f"{job_id} out of SLO"
+    # Stage 0 had to grow (16 MB/s vs its initial ~3-task sizing).
+    stage0_capacity = (
+        platform.job_service.expected_config(stage0)["task_count"]
+        * platform.job_service.expected_config(stage0).get(
+            "threads_per_task", 1
+        ) * 2.0
+    )
+    assert stage0_capacity >= 16.0
+    # Stage 1 sees only the filtered half and sized itself accordingly —
+    # its capacity is real but much smaller than stage 0's.
+    stage1_capacity = (
+        platform.job_service.expected_config(stage1)["task_count"]
+        * platform.job_service.expected_config(stage1).get(
+            "threads_per_task", 1
+        ) * 2.0
+    )
+    assert stage1_capacity >= 8.0
+    assert stage1_capacity < stage0_capacity

@@ -1,0 +1,115 @@
+"""Hypothesis state machine for the Job Store's CAS semantics.
+
+Random interleavings of reads, CAS writes (fresh and stale), commits, and
+snapshot round-trips must preserve:
+
+* a stale-version write NEVER lands (isolation);
+* the stored config is always the last successfully-written one;
+* versions are strictly monotone per level;
+* a snapshot round-trip is an identity.
+"""
+
+import json
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import VersionConflictError
+from repro.jobs import ConfigLevel, JobStore
+
+LEVELS = list(ConfigLevel)
+JOBS = ["job-a", "job-b"]
+
+
+class JobStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = JobStore()
+        #: Our model: (job, level) -> (config, version).
+        self.model = {}
+
+    @initialize()
+    def create_jobs(self):
+        for job_id in JOBS:
+            self.store.create_job(job_id)
+            for level in LEVELS:
+                self.model[(job_id, level)] = ({}, 0)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    @rule(
+        job=st.sampled_from(JOBS),
+        level=st.sampled_from(LEVELS),
+        value=st.integers(0, 100),
+    )
+    def fresh_write_lands(self, job, level, value):
+        config, version = self.model[(job, level)]
+        new_config = {"task_count": value}
+        new_version = self.store.write_expected(job, level, new_config, version)
+        assert new_version == version + 1
+        self.model[(job, level)] = (new_config, new_version)
+
+    @rule(
+        job=st.sampled_from(JOBS),
+        level=st.sampled_from(LEVELS),
+        stale_delta=st.integers(1, 3),
+        value=st.integers(0, 100),
+    )
+    def stale_write_rejected(self, job, level, stale_delta, value):
+        __, version = self.model[(job, level)]
+        stale = version - stale_delta
+        try:
+            self.store.write_expected(job, level, {"task_count": value}, stale)
+            raise AssertionError("stale write must not land")
+        except VersionConflictError:
+            pass
+
+    @rule(job=st.sampled_from(JOBS), value=st.integers(0, 100))
+    def commit_running(self, job, value):
+        self.store.commit_running(job, {"task_count": value})
+
+    @rule()
+    def snapshot_round_trip(self):
+        restored = JobStore.load_snapshot(self.store.dump_snapshot())
+        assert restored.dump_snapshot() == self.store.dump_snapshot()
+        self.store = restored  # keep operating on the restored store
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    @invariant()
+    def stored_matches_model(self):
+        if not self.model:
+            return
+        for (job, level), (config, version) in self.model.items():
+            stored = self.store.read_expected(job, level)
+            assert stored.config == config
+            assert stored.version == version
+
+    @invariant()
+    def merged_respects_precedence(self):
+        if not self.model:
+            return
+        for job in JOBS:
+            merged = self.store.merged_expected(job)
+            expected_value = None
+            for level in ConfigLevel.in_precedence_order():
+                config, __ = self.model[(job, level)]
+                if "task_count" in config:
+                    expected_value = config["task_count"]
+            if expected_value is not None:
+                assert merged["task_count"] == expected_value
+
+
+TestJobStoreMachine = JobStoreMachine.TestCase
+TestJobStoreMachine.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)

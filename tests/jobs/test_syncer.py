@@ -1,0 +1,289 @@
+"""Tests for the State Syncer: ACIDF semantics, batching, quarantine."""
+
+from typing import List
+
+import pytest
+
+from repro.errors import SyncError
+from repro.jobs import (
+    ConfigLevel,
+    JobService,
+    JobSpec,
+    JobStore,
+    StateSyncer,
+    TaskActuator,
+)
+from repro.sim import Engine
+from repro.types import JobState
+
+
+class RecordingActuator(TaskActuator):
+    """Test double that logs calls and can fail on command."""
+
+    def __init__(self):
+        self.calls: List[tuple] = []
+        self.fail_on: set = set()
+
+    def _maybe_fail(self, op):
+        if op in self.fail_on:
+            raise RuntimeError(f"injected failure in {op}")
+
+    def apply_settings(self, job_id, config):
+        self._maybe_fail("apply_settings")
+        self.calls.append(("apply_settings", job_id))
+
+    def stop_tasks(self, job_id):
+        self._maybe_fail("stop_tasks")
+        self.calls.append(("stop_tasks", job_id))
+
+    def redistribute_checkpoints(self, job_id, old, new):
+        self._maybe_fail("redistribute_checkpoints")
+        self.calls.append(("redistribute_checkpoints", job_id, old, new))
+
+    def start_tasks(self, job_id, count, config):
+        self._maybe_fail("start_tasks")
+        self.calls.append(("start_tasks", job_id, count))
+
+
+def make_setup(task_count=4):
+    store = JobStore()
+    service = JobService(store)
+    service.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=task_count)
+    )
+    actuator = RecordingActuator()
+    syncer = StateSyncer(store, actuator)
+    return store, service, actuator, syncer
+
+
+class TestPlanSelection:
+    def test_first_sync_is_complex(self):
+        """Initial provisioning sets task_count from nothing — that is a
+        parallelism change, so the first sync is a complex one."""
+        store, service, actuator, syncer = make_setup()
+        report = syncer.sync_once()
+        assert report.complex_synced == ["job"]
+        ops = [call[0] for call in actuator.calls]
+        assert ops == ["stop_tasks", "redistribute_checkpoints", "start_tasks"]
+
+    def test_no_difference_no_plan(self):
+        store, service, actuator, syncer = make_setup()
+        syncer.sync_once()
+        actuator.calls.clear()
+        report = syncer.sync_once()
+        assert report.total_synced == 0
+        assert actuator.calls == []
+
+    def test_package_release_is_simple_sync(self):
+        store, service, actuator, syncer = make_setup()
+        syncer.sync_once()
+        actuator.calls.clear()
+        service.patch(
+            "job", ConfigLevel.PROVISIONER,
+            {"package": {"name": "stream_engine", "version": "2.0"}},
+        )
+        report = syncer.sync_once()
+        assert report.simple_synced == ["job"]
+        assert actuator.calls == [("apply_settings", "job")]
+
+    def test_parallelism_change_is_complex_sync(self):
+        store, service, actuator, syncer = make_setup(task_count=4)
+        syncer.sync_once()
+        actuator.calls.clear()
+        service.patch("job", ConfigLevel.SCALER, {"task_count": 8})
+        report = syncer.sync_once()
+        assert report.complex_synced == ["job"]
+        assert ("redistribute_checkpoints", "job", 4, 8) in actuator.calls
+        # Phases in the paper's order: stop, redistribute, start.
+        ops = [call[0] for call in actuator.calls]
+        assert ops == ["stop_tasks", "redistribute_checkpoints", "start_tasks"]
+        assert ("start_tasks", "job", 8) in actuator.calls
+
+
+class TestAtomicity:
+    def test_running_config_unchanged_on_failure(self):
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("start_tasks")
+        report = syncer.sync_once()
+        assert report.failed == ["job"]
+        assert store.read_running("job").config == {}, (
+            "commit must not happen when the plan fails part-way"
+        )
+
+    def test_commit_after_success(self):
+        store, service, actuator, syncer = make_setup()
+        syncer.sync_once()
+        running = store.read_running("job").config
+        assert running["task_count"] == 4
+
+
+class TestFaultTolerance:
+    def test_failed_plan_retried_next_round(self):
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("start_tasks")
+        syncer.sync_once()
+        actuator.fail_on.clear()
+        report = syncer.sync_once()
+        assert report.complex_synced == ["job"]
+        assert store.read_running("job").config["task_count"] == 4
+
+    def test_repeated_failures_quarantine_job(self):
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("stop_tasks")
+        quarantined = []
+        syncer.on_quarantine.append(lambda job_id, reason: quarantined.append(job_id))
+        for __ in range(3):
+            syncer.sync_once()
+        assert store.state_of("job") == JobState.QUARANTINED
+        assert quarantined == ["job"]
+        assert len(syncer.alerts) == 1
+
+    def test_quarantined_job_skipped(self):
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("stop_tasks")
+        for __ in range(3):
+            syncer.sync_once()
+        actuator.calls.clear()
+        report = syncer.sync_once()
+        assert report.total_synced == 0
+        assert actuator.calls == []
+
+    def test_release_quarantine_resumes_sync(self):
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("stop_tasks")
+        for __ in range(3):
+            syncer.sync_once()
+        actuator.fail_on.clear()
+        syncer.release_quarantine("job")
+        report = syncer.sync_once()
+        assert report.complex_synced == ["job"]
+        assert syncer.failure_count("job") == 0
+
+    def test_release_non_quarantined_rejected(self):
+        store, service, actuator, syncer = make_setup()
+        with pytest.raises(SyncError):
+            syncer.release_quarantine("job")
+
+    def test_success_resets_failure_count(self):
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("stop_tasks")
+        syncer.sync_once()
+        syncer.sync_once()
+        assert syncer.failure_count("job") == 2
+        actuator.fail_on.clear()
+        syncer.sync_once()
+        assert syncer.failure_count("job") == 0
+
+
+class TestTornPlanRecovery:
+    def test_reverted_expected_still_resyncs_after_failure(self):
+        """A plan that fails after stopping tasks leaves reality torn; if
+        the expected config is then reverted to match the stale running
+        config, the syncer must still resynchronize (dirty tracking)."""
+        store, service, actuator, syncer = make_setup(task_count=4)
+        syncer.sync_once()  # healthy initial state, running == expected
+
+        # An update arrives and its plan fails *after* stop_tasks ran.
+        service.patch("job", ConfigLevel.ONCALL, {"task_count": 8})
+        actuator.fail_on.add("start_tasks")
+        syncer.sync_once()
+        assert store.is_dirty("job")
+        stops_so_far = [c for c in actuator.calls if c[0] == "stop_tasks"]
+
+        # The oncall reverts the update: expected == running again.
+        actuator.fail_on.clear()
+        service.clear_level("job", ConfigLevel.ONCALL)
+        report = syncer.sync_once()
+        assert report.complex_synced == ["job"], (
+            "dirty job must fully resync despite zero config diff"
+        )
+        assert not store.is_dirty("job")
+        restarts = [c for c in actuator.calls if c[0] == "start_tasks"]
+        assert len(restarts) >= 1
+        assert len([c for c in actuator.calls if c[0] == "stop_tasks"]) > len(
+            stops_so_far
+        )
+
+    def test_dirty_survives_snapshot(self):
+        store, service, actuator, syncer = make_setup()
+        syncer.sync_once()
+        service.patch("job", ConfigLevel.ONCALL, {"task_count": 8})
+        actuator.fail_on.add("start_tasks")
+        syncer.sync_once()
+        restored = JobStore.load_snapshot(store.dump_snapshot())
+        assert restored.is_dirty("job"), "dirtiness is durable state"
+
+    def test_clean_job_not_marked_dirty(self):
+        store, service, actuator, syncer = make_setup()
+        syncer.sync_once()
+        assert not store.is_dirty("job")
+
+
+class TestDurability:
+    def test_syncer_crash_and_restart_converges(self):
+        """Durability: a brand-new syncer over the surviving store still
+        drives running to expected."""
+        store, service, actuator, syncer = make_setup()
+        actuator.fail_on.add("start_tasks")
+        syncer.sync_once()  # fails part-way; nothing committed
+        # Syncer process dies; store survives (snapshot round-trip).
+        restored = JobStore.load_snapshot(store.dump_snapshot())
+        fresh_actuator = RecordingActuator()
+        fresh_syncer = StateSyncer(restored, fresh_actuator)
+        report = fresh_syncer.sync_once()
+        assert report.complex_synced == ["job"]
+        assert restored.read_running("job").config["task_count"] == 4
+
+
+class TestPeriodicOperation:
+    def test_runs_every_30_seconds(self):
+        engine = Engine()
+        store = JobStore()
+        service = JobService(store)
+        service.provision(JobSpec(job_id="job", input_category="cat"))
+        actuator = RecordingActuator()
+        syncer = StateSyncer(store, actuator, engine=engine)
+        syncer.start()
+        engine.run_until(95.0)
+        assert len(syncer.rounds) == 3  # t=30, 60, 90
+
+    def test_start_without_engine_rejected(self):
+        store, service, actuator, syncer = make_setup()
+        with pytest.raises(SyncError):
+            syncer.start()
+
+    def test_stop_halts_rounds(self):
+        engine = Engine()
+        store = JobStore()
+        JobService(store).provision(JobSpec(job_id="job", input_category="cat"))
+        syncer = StateSyncer(store, RecordingActuator(), engine=engine)
+        syncer.start()
+        engine.run_until(35.0)
+        syncer.stop()
+        engine.run_until(300.0)
+        assert len(syncer.rounds) == 1
+
+
+class TestBatching:
+    def test_many_simple_syncs_in_one_round(self):
+        """Simple synchronization of tens of thousands of jobs happens in
+        one batched round (paper section III-B); here a smaller fleet
+        checks the all-at-once behaviour."""
+        store = JobStore()
+        service = JobService(store)
+        for index in range(200):
+            service.provision(
+                JobSpec(job_id=f"job-{index:03d}", input_category="cat")
+            )
+        actuator = RecordingActuator()
+        syncer = StateSyncer(store, actuator)
+        syncer.sync_once()  # initial complex syncs
+        # A global package release touches every job.
+        for job_id in service.job_ids():
+            service.patch(
+                job_id, ConfigLevel.PROVISIONER,
+                {"package": {"name": "stream_engine", "version": "9.9"}},
+            )
+        report = syncer.sync_once()
+        assert len(report.simple_synced) == 200
+        assert report.complex_synced == []

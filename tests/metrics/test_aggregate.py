@@ -1,0 +1,116 @@
+"""Unit and property tests for aggregation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import cdf_points, mean, percentile, stdev
+from repro.metrics.aggregate import fraction_below
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def test_mean_basic():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+
+def test_mean_empty_is_zero():
+    assert mean([]) == 0.0
+
+
+def test_stdev_basic():
+    assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(2.0)
+
+
+def test_stdev_singleton_is_zero():
+    assert stdev([5.0]) == 0.0
+    assert stdev([]) == 0.0
+
+
+def test_stdev_constant_is_zero():
+    assert stdev([3.0] * 10) == 0.0
+
+
+def test_percentile_median():
+    assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 50) == 3.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_extremes():
+    values = [5.0, 1.0, 3.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 5.0
+
+
+def test_percentile_singleton():
+    assert percentile([7.0], 95) == 7.0
+
+
+def test_percentile_empty_rejected():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([1.0], -1)
+
+
+def test_cdf_points_monotone():
+    points = cdf_points([3.0, 1.0, 2.0])
+    assert points == [(1.0, pytest.approx(1 / 3)),
+                      (2.0, pytest.approx(2 / 3)),
+                      (3.0, pytest.approx(1.0))]
+
+
+def test_cdf_points_empty():
+    assert cdf_points([]) == []
+
+
+def test_fraction_below():
+    values = [0.5, 1.5, 2.5, 3.5]
+    assert fraction_below(values, 2.0) == 0.5
+    assert fraction_below([], 2.0) == 0.0
+
+
+class TestProperties:
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_percentile_between_min_and_max(self, values):
+        p50 = percentile(values, 50)
+        assert min(values) - 1e-9 <= p50 <= max(values) + 1e-9
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_percentiles_monotone_in_q(self, values):
+        assert percentile(values, 5) <= percentile(values, 50) + 1e-9
+        assert percentile(values, 50) <= percentile(values, 95) + 1e-9
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_mean_between_min_and_max(self, values):
+        mu = mean(values)
+        assert min(values) - 1e-6 <= mu <= max(values) + 1e-6
+
+    @given(st.lists(floats, min_size=2, max_size=50))
+    def test_stdev_non_negative(self, values):
+        assert stdev(values) >= 0.0
+
+    @given(st.lists(floats, min_size=1, max_size=50))
+    def test_cdf_reaches_one(self, values):
+        points = cdf_points(values)
+        assert points[-1][1] == pytest.approx(1.0)
+        fractions = [fraction for __, fraction in points]
+        assert fractions == sorted(fractions)
+
+    @given(st.lists(floats, min_size=1, max_size=30))
+    def test_percentile_matches_numpy(self, values):
+        numpy = pytest.importorskip("numpy")
+        for q in (0, 5, 25, 50, 75, 95, 100):
+            ours = percentile(values, q)
+            theirs = float(numpy.percentile(values, q))
+            assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-9)

@@ -1,0 +1,93 @@
+"""Unit tests for TimeSeries."""
+
+import pytest
+
+from repro.metrics import TimeSeries
+
+
+def test_starts_empty():
+    series = TimeSeries()
+    assert len(series) == 0
+    assert series.latest() is None
+    assert series.latest_time() is None
+
+
+def test_record_and_latest():
+    series = TimeSeries()
+    series.record(1.0, 10.0)
+    series.record(2.0, 20.0)
+    assert series.latest() == 20.0
+    assert series.latest_time() == 2.0
+
+
+def test_out_of_order_rejected():
+    series = TimeSeries()
+    series.record(5.0, 1.0)
+    with pytest.raises(ValueError):
+        series.record(4.0, 1.0)
+
+
+def test_same_time_allowed():
+    series = TimeSeries()
+    series.record(5.0, 1.0)
+    series.record(5.0, 2.0)
+    assert len(series) == 2
+
+
+def test_window_inclusive():
+    series = TimeSeries()
+    for t in range(10):
+        series.record(float(t), float(t * 10))
+    window = series.window(3.0, 5.0)
+    assert [t for t, __ in window] == [3.0, 4.0, 5.0]
+
+
+def test_values_in():
+    series = TimeSeries()
+    for t in range(10):
+        series.record(float(t), float(t))
+    assert series.values_in(7.0, 9.0) == [7.0, 8.0, 9.0]
+
+
+def test_average_over_trailing_window():
+    series = TimeSeries()
+    series.record(0.0, 100.0)
+    series.record(50.0, 10.0)
+    series.record(60.0, 20.0)
+    assert series.average_over(15.0, now=60.0) == pytest.approx(15.0)
+
+
+def test_average_over_empty_window_is_none():
+    series = TimeSeries()
+    series.record(0.0, 1.0)
+    assert series.average_over(5.0, now=100.0) is None
+
+
+def test_max_over():
+    series = TimeSeries()
+    series.record(0.0, 5.0)
+    series.record(1.0, 9.0)
+    series.record(2.0, 3.0)
+    assert series.max_over(10.0, now=2.0) == 9.0
+    assert series.max_over(0.5, now=100.0) is None
+
+
+def test_retention_trims_old_samples():
+    series = TimeSeries(retention=10.0)
+    for t in range(30):
+        series.record(float(t), float(t))
+    times = [t for t, __ in series.all_points()]
+    assert min(times) >= 29.0 - 10.0
+    assert max(times) == 29.0
+
+
+def test_no_retention_keeps_everything():
+    series = TimeSeries(retention=None)
+    for t in range(1000):
+        series.record(float(t), 0.0)
+    assert len(series) == 1000
+
+
+def test_invalid_retention_rejected():
+    with pytest.raises(ValueError):
+        TimeSeries(retention=0.0)

@@ -1,0 +1,54 @@
+"""Unit tests for the MetricStore."""
+
+from repro.metrics import MetricStore
+
+
+def test_series_created_on_first_use():
+    store = MetricStore()
+    series = store.series("job-a", "input_rate")
+    assert len(series) == 0
+    assert store.series("job-a", "input_rate") is series
+
+
+def test_record_and_latest():
+    store = MetricStore()
+    store.record("job-a", "input_rate", 10.0, 100.0)
+    assert store.latest("job-a", "input_rate") == 100.0
+
+
+def test_latest_missing_is_none():
+    assert MetricStore().latest("nope", "nope") is None
+
+
+def test_entities_are_isolated():
+    store = MetricStore()
+    store.record("job-a", "input_rate", 0.0, 1.0)
+    store.record("job-b", "input_rate", 0.0, 2.0)
+    assert store.latest("job-a", "input_rate") == 1.0
+    assert store.latest("job-b", "input_rate") == 2.0
+
+
+def test_entities_with_metric_sorted():
+    store = MetricStore()
+    store.record("zeta", "lag", 0.0, 1.0)
+    store.record("alpha", "lag", 0.0, 1.0)
+    store.record("alpha", "other", 0.0, 1.0)
+    assert store.entities_with("lag") == ["alpha", "zeta"]
+
+
+def test_drop_entity():
+    store = MetricStore()
+    store.record("job-a", "lag", 0.0, 1.0)
+    store.record("job-a", "rate", 0.0, 1.0)
+    store.record("job-b", "lag", 0.0, 1.0)
+    store.drop_entity("job-a")
+    assert store.latest("job-a", "lag") is None
+    assert store.latest("job-b", "lag") == 1.0
+
+
+def test_custom_retention_honored():
+    store = MetricStore(default_retention=5.0)
+    series = store.series("job-a", "lag")
+    assert series.retention == 5.0
+    long_series = store.series("job-a", "history", retention=100.0)
+    assert long_series.retention == 100.0

@@ -1,0 +1,90 @@
+"""Tests for the merged incident timeline."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.cluster import FailurePlan
+from repro.ops import IncidentTimeline
+from repro.workloads import TrafficDriver
+
+
+def eventful_platform():
+    platform = Turbine.create(
+        num_hosts=3, seed=43,
+        config=PlatformConfig(num_shards=16, containers_per_host=2),
+    )
+    platform.attach_scaler()
+    platform.attach_health_reporter(interval=120.0)
+    platform.start()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=4,
+                rate_per_thread_mb=2.0, task_count_limit=32),
+        partitions=32,
+    )
+    driver.add_source("cat", lambda t: 2.0)
+    driver.start()
+    platform.run_for(minutes=5)
+    return platform
+
+
+def test_empty_platform_empty_timeline():
+    platform = Turbine.create(num_hosts=1, seed=1)
+    platform.start()
+    assert IncidentTimeline(platform).events() == []
+
+
+def test_host_failure_produces_ordered_story():
+    platform = eventful_platform()
+    platform.failures.schedule(
+        FailurePlan("host-0", fail_at=platform.now + 60.0)
+    )
+    platform.run_for(minutes=5)
+    timeline = IncidentTimeline(platform)
+    events = timeline.events()
+    kinds = [(event.source, event.kind) for event in events]
+    assert ("cluster", "host-fail") in kinds
+    assert ("shard-manager", "failover") in kinds
+    # The failure precedes its failover in the merged order.
+    fail_index = kinds.index(("cluster", "host-fail"))
+    failover_index = kinds.index(("shard-manager", "failover"))
+    assert fail_index < failover_index
+    times = [event.time for event in events]
+    assert times == sorted(times)
+
+
+def test_scaler_actions_appear():
+    platform = eventful_platform()
+    # Overload the job so the scaler acts.
+    for __ in range(15):
+        platform.scribe.get_category("cat").append(30.0 * 60.0)
+        platform.run_for(minutes=1)
+    events = IncidentTimeline(platform).events()
+    assert any(event.source == "auto-scaler" for event in events)
+
+
+def test_window_filters():
+    platform = eventful_platform()
+    platform.failures.schedule(FailurePlan("host-0", fail_at=platform.now + 60.0))
+    platform.run_for(minutes=5)
+    cut = platform.now
+    platform.failures.schedule(FailurePlan("host-1", fail_at=platform.now + 60.0))
+    platform.run_for(minutes=5)
+    timeline = IncidentTimeline(platform)
+    early = timeline.events(until=cut)
+    late = timeline.events(since=cut)
+    assert all(event.time <= cut for event in early)
+    assert all(event.time >= cut for event in late)
+    assert any(event.detail == "host-0" for event in early)
+    assert any(event.detail == "host-1" for event in late)
+
+
+def test_render_is_tabular():
+    platform = eventful_platform()
+    platform.cluster.fail_host("host-0")
+    platform.run_for(minutes=3)
+    text = IncidentTimeline(platform).render()
+    assert "shard-manager" in text
+    assert "failover" in text
+    lines = text.splitlines()
+    assert len(lines) >= 3

@@ -1,0 +1,137 @@
+"""Tests for IR compilation and the optimizer rewrites."""
+
+import pytest
+
+from repro.provision import (
+    Aggregate,
+    Field,
+    Filter,
+    Project,
+    Query,
+    Schema,
+    Shuffle,
+    Sink,
+    Source,
+    compile_query,
+    optimize,
+)
+
+EVENTS = Schema.of(
+    Field("key", "int"),
+    Field("valid", "bool"),
+    Field("payload", "string"),
+    Field("extra", "string"),
+)
+
+
+def source(rate=10.0):
+    return Source("events", EVENTS, rate_mb=rate)
+
+
+def kinds_in_order(graph):
+    return [node.kind for node in graph.topological()]
+
+
+class TestCompile:
+    def test_simple_chain(self):
+        query = Query("q", Sink(Filter(source(), "valid"), "out"))
+        graph = compile_query(query)
+        assert kinds_in_order(graph) == ["source", "filter", "sink"]
+
+    def test_rate_propagation(self):
+        query = Query(
+            "q",
+            Sink(Filter(source(rate=10.0), "valid", selectivity=0.3), "out"),
+        )
+        graph = compile_query(query)
+        sink_node = graph.sink
+        assert sink_node.rate_mb == pytest.approx(3.0)
+
+    def test_aggregate_reduces_rate(self):
+        agg = Aggregate(Shuffle(source(rate=10.0), "key"), "key", ("count",))
+        graph = compile_query(Query("q", Sink(agg, "out")))
+        assert graph.sink.rate_mb < 10.0
+
+    def test_stateful_flag(self):
+        agg = Aggregate(Shuffle(source(), "key"), "key", ("count",))
+        graph = compile_query(Query("q", Sink(agg, "out")))
+        stateful = [n.kind for n in graph.nodes if n.stateful]
+        assert stateful == ["aggregate"]
+
+
+class TestOptimizer:
+    def test_filter_pushed_below_shuffle(self):
+        """filter(shuffle(x)) → shuffle(filter(x)): less data crosses the
+        Scribe-backed stage boundary."""
+        query = Query(
+            "q",
+            Sink(Filter(Shuffle(source(), "key"), "valid"), "out"),
+        )
+        graph = optimize(compile_query(query))
+        assert kinds_in_order(graph) == ["source", "filter", "shuffle", "sink"]
+
+    def test_projection_pushed_when_key_kept(self):
+        query = Query(
+            "q",
+            Sink(Project(Shuffle(source(), "key"), ("key", "payload")), "out"),
+        )
+        graph = optimize(compile_query(query))
+        assert kinds_in_order(graph) == ["source", "project", "shuffle", "sink"]
+
+    def test_projection_not_pushed_when_key_dropped(self):
+        query = Query(
+            "q",
+            Sink(Project(Shuffle(source(), "key"), ("payload",)), "out"),
+        )
+        graph = optimize(compile_query(query))
+        assert kinds_in_order(graph) == ["source", "shuffle", "project", "sink"]
+
+    def test_adjacent_filters_fuse(self):
+        inner = Filter(source(), "valid", selectivity=0.5)
+        outer = Filter(inner, "valid", selectivity=0.4)
+        graph = optimize(compile_query(Query("q", Sink(outer, "out"))))
+        filters = [n for n in graph.nodes if n.kind == "filter"]
+        assert len(filters) == 1
+        assert filters[0].op.selectivity == pytest.approx(0.2)
+
+    def test_output_schema_preserved(self):
+        query = Query(
+            "q",
+            Sink(
+                Project(
+                    Filter(Shuffle(source(), "key"), "valid"),
+                    ("key", "payload"),
+                ),
+                "out",
+            ),
+        )
+        before = compile_query(query)
+        names_before = before.sink.op.output_schema().names()
+        after = optimize(before)
+        assert after.sink.op.output_schema().names() == names_before
+
+    def test_pushdown_reduces_shuffle_traffic(self):
+        query = Query(
+            "q",
+            Sink(Filter(Shuffle(source(rate=10.0), "key"), "valid",
+                        selectivity=0.2), "out"),
+        )
+        unoptimized = compile_query(query)
+        shuffle_rate_before = next(
+            n.rate_mb for n in unoptimized.topological() if n.kind == "shuffle"
+        )
+        optimized = optimize(compile_query(query))
+        shuffle_rate_after = next(
+            n.rate_mb for n in optimized.topological() if n.kind == "shuffle"
+        )
+        assert shuffle_rate_before == pytest.approx(10.0)
+        assert shuffle_rate_after == pytest.approx(2.0)
+
+    def test_idempotent(self):
+        query = Query(
+            "q",
+            Sink(Filter(Shuffle(source(), "key"), "valid"), "out"),
+        )
+        graph = optimize(compile_query(query))
+        again = optimize(graph)
+        assert kinds_in_order(again) == kinds_in_order(graph)

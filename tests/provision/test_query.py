@@ -1,0 +1,108 @@
+"""Tests for the query API and schema validation."""
+
+import pytest
+
+from repro.provision import (
+    Aggregate,
+    Field,
+    Filter,
+    Join,
+    Project,
+    Query,
+    Schema,
+    Shuffle,
+    Sink,
+    Source,
+)
+from repro.provision.query import QueryError
+
+CLICKS = Schema.of(
+    Field("user_id", "int"),
+    Field("url", "string"),
+    Field("is_bot", "bool"),
+    Field("bytes", "float"),
+)
+
+
+def clicks_source(rate=4.0):
+    return Source(category="clicks", schema=CLICKS, rate_mb=rate)
+
+
+class TestSchema:
+    def test_field_validation(self):
+        with pytest.raises(QueryError):
+            Field("", "int")
+        with pytest.raises(QueryError):
+            Field("x", "decimal")
+
+    def test_project_and_lookup(self):
+        projected = CLICKS.project(["url", "bytes"])
+        assert projected.names() == ["url", "bytes"]
+        with pytest.raises(QueryError):
+            CLICKS.project(["nope"])
+
+    def test_merge_rejects_duplicates(self):
+        with pytest.raises(QueryError):
+            CLICKS.merge(Schema.of(Field("url")))
+
+
+class TestValidation:
+    def test_valid_pipeline_derives_schema(self):
+        source = clicks_source()
+        filtered = Filter(source, "is_bot", selectivity=0.9)
+        projected = Project(filtered, ("user_id", "bytes"))
+        query = Query("q", Sink(projected, "out"))
+        schema = query.validate()
+        assert schema.names() == ["user_id", "bytes"]
+
+    def test_filter_unknown_field_rejected(self):
+        query = Query("q", Sink(Filter(clicks_source(), "nope"), "out"))
+        with pytest.raises(QueryError):
+            query.validate()
+
+    def test_aggregate_output_schema(self):
+        agg = Aggregate(
+            Shuffle(clicks_source(), "user_id"),
+            group_by="user_id",
+            aggregates=("count", "sum:bytes"),
+        )
+        schema = Query("q", Sink(agg, "out")).validate()
+        assert schema.names() == ["user_id", "count", "sum_bytes"]
+
+    def test_aggregate_unknown_function_rejected(self):
+        agg = Aggregate(clicks_source(), "user_id", ("median",))
+        with pytest.raises(QueryError):
+            Query("q", Sink(agg, "out")).validate()
+
+    def test_join_schema_merges_sides(self):
+        users = Source(
+            "users", Schema.of(Field("user_id", "int"), Field("country")),
+        )
+        join = Join(clicks_source(), users, key="user_id")
+        schema = Query("q", Sink(join, "out")).validate()
+        assert "country" in schema.names()
+        assert schema.names().count("user_id") == 1
+
+    def test_join_missing_key_rejected(self):
+        users = Source("users", Schema.of(Field("uid", "int")))
+        join = Join(clicks_source(), users, key="user_id")
+        with pytest.raises(QueryError):
+            Query("q", Sink(join, "out")).validate()
+
+    def test_shuffle_key_must_exist(self):
+        with pytest.raises(QueryError):
+            Query("q", Sink(Shuffle(clicks_source(), "nope"), "out")).validate()
+
+    def test_selectivity_bounds(self):
+        with pytest.raises(QueryError):
+            Filter(clicks_source(), "is_bot", selectivity=0.0)
+        with pytest.raises(QueryError):
+            Filter(clicks_source(), "is_bot", selectivity=1.5)
+
+
+def test_operators_topological_order():
+    source = clicks_source()
+    filtered = Filter(source, "is_bot")
+    sink = Sink(filtered, "out")
+    ops = Query("q", sink).operators()
+    assert ops.index(source) < ops.index(filtered) < ops.index(sink)

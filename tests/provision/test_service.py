@@ -1,0 +1,139 @@
+"""Tests for the Provision Service: stage cutting, sizing, deployment."""
+
+import pytest
+
+from repro import PlatformConfig, Turbine
+from repro.provision import (
+    Aggregate,
+    Field,
+    Filter,
+    Join,
+    ProvisionService,
+    Query,
+    Schema,
+    Shuffle,
+    Sink,
+    Source,
+)
+
+EVENTS = Schema.of(
+    Field("key", "int"), Field("valid", "bool"), Field("payload", "string"),
+)
+
+
+def simple_query(rate=4.0):
+    return Query(
+        "pipeline",
+        Sink(Filter(Source("events", EVENTS, rate_mb=rate), "valid"), "out"),
+    )
+
+
+def shuffled_aggregation(rate=10.0):
+    agg = Aggregate(
+        Shuffle(Source("events", EVENTS, rate_mb=rate), "key"),
+        group_by="key",
+        aggregates=("count",),
+        key_cardinality=2_000_000,
+    )
+    return Query("pipeline", Sink(agg, "agg_out"))
+
+
+class TestStageCutting:
+    def test_shuffle_free_query_is_one_job(self):
+        pipeline = ProvisionService().plan(simple_query())
+        assert pipeline.num_jobs == 1
+        assert pipeline.stages[0].input_category == "events"
+        assert pipeline.stages[0].output_category == "out"
+        assert pipeline.intermediate_categories == []
+
+    def test_aggregation_after_shuffle_is_two_jobs(self):
+        """"A stream pipeline may contain multiple jobs, for example
+        aggregation after data shuffling."""
+        pipeline = ProvisionService().plan(shuffled_aggregation())
+        assert pipeline.num_jobs == 2
+        first, second = pipeline.stages
+        assert first.input_category == "events"
+        assert first.output_category == second.input_category
+        assert second.input_category.startswith("pipeline/stage-")
+        assert second.output_category == "agg_out"
+        assert len(pipeline.intermediate_categories) == 1
+
+    def test_stateful_stage_flagged(self):
+        pipeline = ProvisionService().plan(shuffled_aggregation())
+        assert not pipeline.stages[0].stateful
+        assert pipeline.stages[1].stateful
+        assert pipeline.stages[1].key_cardinality == 2_000_000
+
+    def test_join_of_two_sources_creates_three_stages(self):
+        left = Source("left", EVENTS, rate_mb=3.0)
+        right = Source(
+            "right", Schema.of(Field("key", "int"), Field("tag")), rate_mb=2.0
+        )
+        join = Join(Shuffle(left, "key"), Shuffle(right, "key"), key="key")
+        pipeline = ProvisionService().plan(Query("j", Sink(join, "out")))
+        assert pipeline.num_jobs == 3
+        join_stage = pipeline.stages[-1]
+        assert join_stage.stateful
+        # Both upstream stages write into the join's intermediate.
+        upstream_outputs = {
+            stage.output_category for stage in pipeline.stages[:-1]
+        }
+        assert upstream_outputs == {join_stage.input_category}
+
+
+class TestSizing:
+    def test_task_count_scales_with_rate(self):
+        small = ProvisionService().plan(simple_query(rate=1.0))
+        large = ProvisionService().plan(simple_query(rate=20.0))
+        assert small.job_specs[0].task_count < large.job_specs[0].task_count
+
+    def test_stateful_spec_carries_cardinality(self):
+        pipeline = ProvisionService().plan(shuffled_aggregation())
+        agg_spec = pipeline.job_specs[1]
+        assert agg_spec.stateful
+        assert agg_spec.state_key_cardinality == 2_000_000
+
+    def test_job_ids_namespaced_by_query(self):
+        pipeline = ProvisionService().plan(shuffled_aggregation())
+        assert [spec.job_id for spec in pipeline.job_specs] == [
+            "pipeline/stage-0", "pipeline/stage-1",
+        ]
+
+
+class TestDeployment:
+    def test_provision_on_platform_runs_end_to_end(self):
+        platform = Turbine.create(
+            num_hosts=3, seed=2,
+            config=PlatformConfig(num_shards=32, containers_per_host=2),
+        )
+        platform.start()
+        pipeline = ProvisionService().provision(shuffled_aggregation(), platform)
+        platform.run_for(minutes=3)
+        for spec in pipeline.job_specs:
+            assert platform.tasks_of_job(spec.job_id), (
+                f"stage {spec.job_id} must be scheduled"
+            )
+        # The intermediate category exists on the bus.
+        assert pipeline.intermediate_categories[0] in (
+            platform.scribe.categories
+        )
+
+    def test_data_flows_across_the_stage_boundary(self):
+        """Bytes written to the source category are processed by stage 0;
+        stage 1 reads the intermediate. Stage 0's simulated tasks do not
+        literally re-publish bytes (the runtime models consumption only),
+        so we drive the intermediate directly and check stage 1 drains it —
+        the wiring under test is the category plumbing."""
+        platform = Turbine.create(
+            num_hosts=3, seed=2,
+            config=PlatformConfig(num_shards=32, containers_per_host=2),
+        )
+        platform.start()
+        pipeline = ProvisionService().provision(shuffled_aggregation(), platform)
+        platform.run_for(minutes=3)
+        intermediate = pipeline.intermediate_categories[0]
+        platform.scribe.get_category(intermediate).append(30.0)
+        platform.run_for(minutes=5)
+        assert platform.job_lag_mb("pipeline/stage-1") == pytest.approx(
+            0.0, abs=1e-6
+        )

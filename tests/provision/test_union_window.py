@@ -1,0 +1,93 @@
+"""Tests for the Union and Window operators."""
+
+import pytest
+
+from repro.provision import (
+    Aggregate,
+    Field,
+    Filter,
+    ProvisionService,
+    Query,
+    Schema,
+    Shuffle,
+    Sink,
+    Source,
+    Union,
+    Window,
+    compile_query,
+    optimize,
+)
+from repro.provision.query import QueryError
+
+EVENTS = Schema.of(
+    Field("key", "int"), Field("valid", "bool"), Field("payload", "string"),
+)
+
+
+class TestUnion:
+    def test_matching_schemas_merge(self):
+        left = Source("left", EVENTS, rate_mb=2.0)
+        right = Source("right", EVENTS, rate_mb=3.0)
+        query = Query("u", Sink(Union(left, right), "out"))
+        assert query.validate() == EVENTS
+        graph = compile_query(query)
+        assert graph.sink.rate_mb == pytest.approx(5.0)
+
+    def test_mismatched_schemas_rejected(self):
+        left = Source("left", EVENTS)
+        right = Source("right", Schema.of(Field("other")))
+        with pytest.raises(QueryError, match="share a schema"):
+            Query("u", Sink(Union(left, right), "out")).validate()
+
+    def test_union_of_sources_cuts_into_merge_stage(self):
+        """Two source stages feed one merge stage through a shared
+        intermediate category."""
+        left = Source("left", EVENTS, rate_mb=2.0)
+        right = Source("right", EVENTS, rate_mb=3.0)
+        union = Union(Filter(left, "valid"), Filter(right, "valid"))
+        pipeline = ProvisionService().plan(Query("u", Sink(union, "out")))
+        assert pipeline.num_jobs == 3
+        merge_stage = pipeline.stages[-1]
+        assert not merge_stage.stateful
+        upstream_outputs = {
+            stage.output_category for stage in pipeline.stages[:-1]
+        }
+        assert upstream_outputs == {merge_stage.input_category}
+
+
+class TestWindow:
+    def test_schema_passthrough_and_key_check(self):
+        window = Window(Source("events", EVENTS), key="key")
+        assert Query("w", Sink(window, "out")).validate() == EVENTS
+        with pytest.raises(QueryError):
+            Window(Source("events", EVENTS), key="nope").output_schema()
+
+    def test_invalid_parameters_rejected(self):
+        source = Source("events", EVENTS)
+        with pytest.raises(QueryError):
+            Window(source, key="key", window_seconds=0.0)
+        with pytest.raises(QueryError):
+            Window(source, key="key", key_cardinality=0)
+
+    def test_window_is_stateful_with_reduction(self):
+        window = Window(
+            Shuffle(Source("events", EVENTS, rate_mb=10.0), "key"),
+            key="key", key_cardinality=500_000,
+        )
+        graph = optimize(compile_query(Query("w", Sink(window, "out"))))
+        window_node = next(n for n in graph.nodes if n.kind == "window")
+        assert window_node.stateful
+        assert window_node.rate_mb == pytest.approx(3.0)
+
+    def test_windowed_pre_aggregation_pipeline(self):
+        """The classic two-level aggregation: per-window partials before
+        the shuffle, final aggregation after — less shuffle traffic."""
+        pre = Window(Source("events", EVENTS, rate_mb=10.0), key="key",
+                     key_cardinality=200_000)
+        final = Aggregate(Shuffle(pre, "key"), group_by="key",
+                          aggregates=("count",), key_cardinality=200_000)
+        pipeline = ProvisionService().plan(Query("w", Sink(final, "out")))
+        assert pipeline.num_jobs == 2
+        assert pipeline.stages[0].stateful, "the window stage keeps state"
+        assert pipeline.stages[0].reduction_ratio == pytest.approx(0.3)
+        assert pipeline.job_specs[0].state_key_cardinality == 200_000

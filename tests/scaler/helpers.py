@@ -1,0 +1,31 @@
+"""Shared helpers for scaler tests: snapshot builders with sane defaults."""
+
+from repro.scaler.snapshot import JobSnapshot
+from repro.types import Priority
+
+
+def make_snapshot(**overrides) -> JobSnapshot:
+    """A healthy steady-state snapshot; override fields per test."""
+    defaults = dict(
+        job_id="job",
+        time=1000.0,
+        task_count=4,
+        threads=1,
+        task_count_limit=32,
+        memory_per_task_gb=1.0,
+        cpu_per_task=1.0,
+        stateful=False,
+        state_key_cardinality=0,
+        priority=Priority.NORMAL,
+        slo_lag_seconds=90.0,
+        slo_recovery_seconds=3600.0,
+        input_rate_mb=4.0,
+        processing_rate_mb=4.0,
+        backlog_mb=0.0,
+        time_lagged=0.0,
+        task_rate_stdev=0.1,
+        oom_recently=False,
+        running_tasks=4,
+    )
+    defaults.update(overrides)
+    return JobSnapshot(**defaults)

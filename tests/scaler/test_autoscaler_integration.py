@@ -1,0 +1,166 @@
+"""End-to-end Auto Scaler tests on a live simulated platform."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.scaler import AutoScalerConfig
+from repro.scaler.plan_generator import Action
+
+
+def scaled_platform(num_hosts=3, downscale_after=1800.0, seed=11, **scaler_kw):
+    config = PlatformConfig(num_shards=32, containers_per_host=2)
+    platform = Turbine.create(num_hosts=num_hosts, seed=seed, config=config)
+    platform.attach_scaler(
+        AutoScalerConfig(downscale_after=downscale_after, **scaler_kw)
+    )
+    platform.start()
+    return platform
+
+
+def feed(platform, category, rate_mb, minutes):
+    """Append ``rate_mb`` MB/s of traffic for ``minutes`` minutes."""
+    for __ in range(int(minutes)):
+        platform.scribe.get_category(category).append(rate_mb * 60.0)
+        platform.run_for(minutes=1)
+
+
+class TestUpscaling:
+    def test_backlog_triggers_upscale(self):
+        platform = scaled_platform()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=2.0, task_count_limit=32),
+        )
+        platform.run_for(minutes=3)
+        # 30 MB/s input >> 2 tasks * 2 MB/s capacity → lag grows.
+        feed(platform, "cat", rate_mb=30.0, minutes=20)
+        config = platform.job_service.expected_config("job")
+        capacity = (
+            config["task_count"] * config["threads_per_task"] * 2.0
+        )
+        assert capacity >= 30.0, f"scaled capacity {capacity} must cover input"
+        upscales = [
+            action for action in platform.scaler.actions
+            if action.action in (
+                Action.UPSCALE_HORIZONTAL, Action.UPSCALE_VERTICAL
+            )
+        ]
+        assert upscales
+
+    def test_backlog_drains_after_upscale(self):
+        platform = scaled_platform()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=5.0, task_count_limit=32,
+                    slo=__import__("repro.types", fromlist=["SLO"]).SLO(
+                        max_lag_seconds=90.0, recovery_seconds=600.0)),
+        )
+        platform.run_for(minutes=3)
+        platform.scribe.get_category("cat").append(3000.0)  # a big dump
+        feed(platform, "cat", rate_mb=5.0, minutes=40)
+        assert platform.job_lag_mb("job") < 300.0, "backlog mostly drained"
+
+    def test_task_count_limit_respected(self):
+        platform = scaled_platform()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=1.0, task_count_limit=8),
+        )
+        platform.run_for(minutes=3)
+        feed(platform, "cat", rate_mb=100.0, minutes=20)
+        assert platform.job_service.expected_config("job")["task_count"] <= 8
+
+    def test_oncall_limit_lift_unlocks_scaling(self):
+        """The Fig. 8 scenario: the operator lifts the limit and the
+        scaler continues upward."""
+        from repro.jobs import ConfigLevel
+
+        platform = scaled_platform()
+        # The category has plenty of partitions; only the task-count
+        # limit holds the job back (the Fig. 8 situation).
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=1.0, task_count_limit=8),
+            partitions=128,
+        )
+        platform.run_for(minutes=3)
+        feed(platform, "cat", rate_mb=50.0, minutes=15)
+        assert platform.job_service.expected_config("job")["task_count"] <= 8
+        platform.job_service.patch(
+            "job", ConfigLevel.ONCALL, {"task_count_limit": 128}
+        )
+        feed(platform, "cat", rate_mb=50.0, minutes=15)
+        assert platform.job_service.expected_config("job")["task_count"] > 8
+
+
+class TestOom:
+    def test_oom_bumps_memory(self):
+        platform = scaled_platform()
+        # 0.45 GB reservation but the buffer model needs more at high rate.
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=50.0,
+                    resources_per_task=__import__(
+                        "repro.cluster", fromlist=["ResourceVector"]
+                    ).ResourceVector(cpu=1.0, memory_gb=0.45)),
+        )
+        platform.run_for(minutes=3)
+        feed(platform, "cat", rate_mb=60.0, minutes=15)
+        assert any(
+            manager.oom_events > 0
+            for manager in platform.task_managers.values()
+        ), "the tight reservation must OOM under load"
+        memory = platform.job_service.expected_config("job")["resources"][
+            "memory_gb"
+        ]
+        assert memory > 0.45, "scaler must raise the reservation"
+
+
+class TestDownscaling:
+    def test_quiet_job_downscales(self):
+        platform = scaled_platform(downscale_after=1200.0)
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=16,
+                    rate_per_thread_mb=2.0),
+        )
+        platform.run_for(minutes=3)
+        feed(platform, "cat", rate_mb=4.0, minutes=45)
+        final = platform.job_service.expected_config("job")["task_count"]
+        assert final < 16, "16 tasks for 4 MB/s at P=2 is over-provisioned"
+        assert final >= 2, "never below the floor ceil(4/2)"
+
+    def test_busy_job_never_downscaled(self):
+        platform = scaled_platform(downscale_after=600.0)
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=4,
+                    rate_per_thread_mb=2.0),
+        )
+        platform.run_for(minutes=3)
+        feed(platform, "cat", rate_mb=7.9, minutes=30)
+        final = platform.job_service.expected_config("job")["task_count"]
+        assert final >= 4, "job running near capacity must not shrink"
+
+
+class TestUntriaged:
+    def test_lag_without_resource_cause_alerts(self):
+        """A job that lags despite ample capacity (a simulated dependency
+        failure: tasks stopped via direct kill) produces an untriaged
+        report, not a scaling action."""
+        platform = scaled_platform()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=8,
+                    rate_per_thread_mb=10.0),
+        )
+        platform.run_for(minutes=3)
+        # Stop the data plane behind the control plane's back: lag grows
+        # although the estimates say capacity is plentiful.
+        for manager in platform.task_managers.values():
+            for task in manager.tasks.values():
+                task.stop()
+        feed(platform, "cat", rate_mb=4.0, minutes=15)
+        assert platform.scaler.untriaged, "must report an untriaged problem"
+        horizontal = [
+            action for action in platform.scaler.actions
+            if action.action == Action.UPSCALE_HORIZONTAL
+        ]
+        assert not horizontal, "untriaged lag must not add tasks"

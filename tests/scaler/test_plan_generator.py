@@ -1,0 +1,227 @@
+"""Tests for the Plan Generator's synthesized decisions."""
+
+import pytest
+
+from repro.cluster import ResourceVector
+from repro.metrics import MetricStore
+from repro.scaler import PatternAnalyzer, PlanGenerator, ResourceEstimator, SymptomDetector
+from repro.scaler.plan_generator import Action
+from repro.types import Priority
+from tests.scaler.helpers import make_snapshot
+
+CONTAINER = ResourceVector(cpu=10.0, memory_gb=26.0, disk_gb=400.0)
+
+
+def make_generator(analyzer=None):
+    analyzer = analyzer or PatternAnalyzer(MetricStore())
+    return PlanGenerator(analyzer, CONTAINER), analyzer
+
+
+def decide(snapshot, quiet=False, floor=Priority.LOW, p=2.0, analyzer=None):
+    generator, analyzer = make_generator(analyzer)
+    analyzer.rate_per_thread(snapshot.job_id, bootstrap=p)
+    symptoms = SymptomDetector().detect(snapshot)
+    estimate = ResourceEstimator().estimate(snapshot, p)
+    return generator.decide(
+        snapshot, symptoms, estimate,
+        quiet_long_enough=quiet, priority_floor=floor,
+    )
+
+
+class TestVerticalFirst:
+    def test_small_lag_scales_vertically(self):
+        """Extra demand that fits within the thread limit grows threads,
+        not task count (section V-E: vertical favored)."""
+        snapshot = make_snapshot(
+            time_lagged=200.0, input_rate_mb=12.0, task_count=4, threads=1,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UPSCALE_VERTICAL
+        assert decision.task_count == 4
+        assert decision.threads == 2
+
+    def test_large_lag_goes_horizontal(self):
+        snapshot = make_snapshot(
+            time_lagged=500.0, input_rate_mb=100.0, task_count=4, threads=1,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UPSCALE_HORIZONTAL
+        assert decision.task_count > 4
+        assert decision.threads == 2, "threads maxed before adding tasks"
+
+    def test_vertical_limit_is_fifth_of_container(self):
+        generator, __ = make_generator()
+        assert generator.vertical_limit.cpu == pytest.approx(2.0)
+        assert generator.vertical_limit.memory_gb == pytest.approx(5.2)
+        assert generator.max_threads == 2
+
+    def test_task_count_limit_caps_horizontal(self):
+        """The Fig. 8 guard: unprivileged jobs stop at their limit."""
+        snapshot = make_snapshot(
+            time_lagged=1000.0, input_rate_mb=1000.0,
+            task_count=4, task_count_limit=32,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UPSCALE_HORIZONTAL
+        assert decision.task_count == 32
+
+    def test_input_partitions_cap_horizontal_scaling(self):
+        """Tasks beyond the input category's partition count would idle,
+        so the generator never scales past it."""
+        snapshot = make_snapshot(
+            time_lagged=1000.0, input_rate_mb=1000.0,
+            task_count=4, task_count_limit=64, input_partitions=10,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UPSCALE_HORIZONTAL
+        assert decision.task_count == 10
+
+    def test_unknown_partitions_do_not_cap(self):
+        snapshot = make_snapshot(
+            time_lagged=1000.0, input_rate_mb=1000.0,
+            task_count=4, task_count_limit=64, input_partitions=0,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.task_count > 10
+
+    def test_at_limit_no_action(self):
+        snapshot = make_snapshot(
+            time_lagged=1000.0, input_rate_mb=1000.0,
+            task_count=32, threads=2, task_count_limit=32,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.NONE
+        assert "limit" in decision.reason
+
+
+class TestLagPaths:
+    def test_imbalanced_lag_rebalances_not_scales(self):
+        """Algorithm 2 lines 3–4."""
+        snapshot = make_snapshot(
+            time_lagged=200.0, processing_rate_mb=4.0, task_rate_stdev=0.9,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.REBALANCE
+
+    def test_lag_with_enough_resources_is_untriaged(self):
+        """Symptoms without a resource explanation must not trigger
+        scaling (section V-D)."""
+        snapshot = make_snapshot(
+            time_lagged=200.0, input_rate_mb=2.0, task_count=8,
+        )
+        decision = decide(snapshot, p=2.0)  # capacity 16 >> input 2
+        assert decision.action == Action.UNTRIAGED
+
+    def test_priority_floor_suppresses_upscale(self):
+        snapshot = make_snapshot(
+            time_lagged=200.0, input_rate_mb=100.0, priority=Priority.LOW,
+        )
+        decision = decide(snapshot, p=2.0, floor=Priority.HIGH)
+        assert decision.action == Action.NONE
+        assert "privileged" in decision.reason
+
+    def test_privileged_job_scales_under_pressure(self):
+        snapshot = make_snapshot(
+            time_lagged=200.0, input_rate_mb=100.0, priority=Priority.CRITICAL,
+        )
+        decision = decide(snapshot, p=2.0, floor=Priority.HIGH)
+        assert decision.action == Action.UPSCALE_HORIZONTAL
+
+
+class TestOomPaths:
+    def test_oom_grows_memory(self):
+        snapshot = make_snapshot(oom_recently=True, memory_per_task_gb=1.0)
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.MEMORY_INCREASE
+        assert decision.memory_per_task_gb == pytest.approx(1.5)
+        assert decision.task_count == snapshot.task_count
+
+    def test_oom_at_vertical_limit_goes_horizontal(self):
+        snapshot = make_snapshot(
+            oom_recently=True, memory_per_task_gb=5.0,
+            stateful=True, state_key_cardinality=50_000_000,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UPSCALE_HORIZONTAL
+        assert decision.task_count == 8
+
+    def test_oom_horizontal_correlated_memory_reduction(self):
+        """"if ... the number of tasks is increased, the memory allocated
+        to each task can be reduced" — stateful memory shrinks per task."""
+        snapshot = make_snapshot(
+            oom_recently=True, memory_per_task_gb=5.0,
+            stateful=True, state_key_cardinality=50_000_000,
+            task_count=4,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UPSCALE_HORIZONTAL
+        assert decision.memory_per_task_gb < 5.2  # below vertical cap
+        assert decision.memory_per_task_gb < 5.0 * 1.5
+
+    def test_oom_at_all_limits_is_untriaged(self):
+        snapshot = make_snapshot(
+            oom_recently=True, memory_per_task_gb=5.0,
+            task_count=32, task_count_limit=32,
+        )
+        decision = decide(snapshot, p=2.0)
+        assert decision.action == Action.UNTRIAGED
+
+
+class TestDownscalePaths:
+    def test_quiet_overprovisioned_job_downscales(self):
+        snapshot = make_snapshot(task_count=16, input_rate_mb=4.0)
+        decision = decide(snapshot, quiet=True, p=2.0)
+        assert decision.action == Action.DOWNSCALE
+        assert decision.task_count == 3  # ceil(4/2 * 1.2)
+
+    def test_not_quiet_no_downscale(self):
+        snapshot = make_snapshot(task_count=16, input_rate_mb=4.0)
+        decision = decide(snapshot, quiet=False, p=2.0)
+        assert decision.action == Action.NONE
+
+    def test_downscale_never_below_floor(self):
+        """"It prevents downscaling decisions from causing a healthy job to
+        become unhealthy"."""
+        snapshot = make_snapshot(task_count=5, input_rate_mb=8.0)
+        decision = decide(snapshot, quiet=True, p=2.0)
+        # floor = ceil(8/2) = 4; steady with margin = ceil(4*1.2) = 5 = n.
+        assert decision.action == Action.NONE
+
+    def test_estimate_above_current_adjusts_p_and_skips(self):
+        """The Pattern Analyzer's resource-adjustment rule: n' > n means P
+        was too small."""
+        analyzer = PatternAnalyzer(MetricStore())
+        snapshot = make_snapshot(
+            task_count=2, input_rate_mb=8.0, processing_rate_mb=8.0,
+            running_tasks=2,
+        )
+        decision = decide(snapshot, quiet=True, p=1.0, analyzer=analyzer)
+        assert decision.action == Action.NONE
+        assert "adjusted P" in decision.reason
+        assert analyzer.rate_per_thread("job", 1.0) == pytest.approx(4.0)
+
+    def test_downscale_recorded_for_violation_attribution(self):
+        analyzer = PatternAnalyzer(MetricStore())
+        snapshot = make_snapshot(task_count=16, input_rate_mb=4.0)
+        decision = decide(snapshot, quiet=True, p=2.0, analyzer=analyzer)
+        assert decision.action == Action.DOWNSCALE
+        # A violation right after is attributed to the downscale.
+        lagging = make_snapshot(
+            time=snapshot.time + 300.0, task_count=3,
+            input_rate_mb=4.0, time_lagged=300.0,
+        )
+        assert analyzer.observe_slo_violation(lagging)
+
+    def test_violation_after_downscale_restores_capacity(self):
+        analyzer = PatternAnalyzer(MetricStore())
+        quiet_snapshot = make_snapshot(task_count=16, input_rate_mb=4.0)
+        decide(quiet_snapshot, quiet=True, p=2.0, analyzer=analyzer)
+        lagging = make_snapshot(
+            time=quiet_snapshot.time + 300.0, task_count=3,
+            input_rate_mb=6.0, time_lagged=300.0, backlog_mb=1000.0,
+        )
+        decision = decide(lagging, p=2.0, analyzer=analyzer)
+        assert decision.action in (
+            Action.UPSCALE_VERTICAL, Action.UPSCALE_HORIZONTAL
+        )
+        assert "restoring" in decision.reason

@@ -1,0 +1,55 @@
+"""End-to-end imbalanced-input handling (Algorithm 2 lines 3-4).
+
+A skewed producer overloads some tasks of a job while others idle; lag
+develops although total capacity is sufficient. The scaler must detect the
+imbalance and rebalance the input traffic rather than add resources.
+"""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.scaler import AutoScalerConfig
+from repro.scaler.plan_generator import Action
+
+
+def test_skewed_input_rebalanced_not_scaled():
+    platform = Turbine.create(
+        num_hosts=3, seed=61,
+        config=PlatformConfig(num_shards=32, containers_per_host=2,
+                              step_interval=30.0),
+    )
+    platform.attach_scaler(AutoScalerConfig(interval=120.0))
+    platform.start()
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=4,
+                rate_per_thread_mb=2.0),
+        partitions=8,
+    )
+    platform.run_for(minutes=3)
+
+    # Skew: task 0's two partitions receive almost all the traffic.
+    category = platform.scribe.get_category("cat")
+    category.set_weights([4.0, 4.0, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1])
+    for __ in range(30):
+        category.append(6.0 * 60.0)  # 6 MB/s total, capacity 8 MB/s
+        platform.run_for(minutes=1)
+
+    rebalances = [
+        action for action in platform.scaler.actions
+        if action.action == Action.REBALANCE
+    ]
+    assert rebalances, "the scaler must rebalance the skewed input"
+    # After the rebalance, the weights are uniform again and lag drains.
+    platform_weights = category._weights
+    assert platform_weights is None, "traffic split restored to uniform"
+    for __ in range(15):
+        category.append(6.0 * 60.0)
+        platform.run_for(minutes=1)
+    assert platform.metrics.latest("job", "time_lagged") < 90.0
+    horizontal = [
+        action for action in platform.scaler.actions
+        if action.action == Action.UPSCALE_HORIZONTAL
+    ]
+    assert not horizontal, (
+        "imbalance is fixed by rebalancing, not by adding tasks"
+    )

@@ -1,0 +1,107 @@
+"""Unit tests for Scribe categories."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ScribeError
+from repro.scribe import Category
+
+
+def test_partitions_named_by_category():
+    category = Category("ads", 3)
+    assert [p.partition_id for p in category.partitions] == [
+        "ads/0", "ads/1", "ads/2",
+    ]
+
+
+def test_zero_partitions_rejected():
+    with pytest.raises(ScribeError):
+        Category("ads", 0)
+
+
+def test_uniform_append_splits_evenly():
+    category = Category("ads", 4)
+    category.append(100.0)
+    assert all(p.head == pytest.approx(25.0) for p in category.partitions)
+    assert category.total_head() == pytest.approx(100.0)
+
+
+def test_weighted_append_skews_traffic():
+    category = Category("ads", 2)
+    category.set_weights([3.0, 1.0])
+    category.append(100.0)
+    assert category.partitions[0].head == pytest.approx(75.0)
+    assert category.partitions[1].head == pytest.approx(25.0)
+
+
+def test_weights_reset_to_uniform():
+    category = Category("ads", 2)
+    category.set_weights([1.0, 0.0])
+    category.set_weights(None)
+    category.append(100.0)
+    assert category.partitions[1].head == pytest.approx(50.0)
+
+
+def test_wrong_weight_count_rejected():
+    category = Category("ads", 3)
+    with pytest.raises(ScribeError):
+        category.set_weights([1.0, 2.0])
+
+
+def test_negative_weight_rejected():
+    with pytest.raises(ScribeError):
+        Category("ads", 2).set_weights([1.0, -1.0])
+
+
+def test_all_zero_weights_rejected():
+    with pytest.raises(ScribeError):
+        Category("ads", 2).set_weights([0.0, 0.0])
+
+
+class TestPartitionSlices:
+    def test_slices_are_disjoint_and_complete(self):
+        """Every partition is owned by exactly one task — the core data-model
+        property that makes task recovery independent (paper section II)."""
+        category = Category("ads", 10)
+        task_count = 3
+        seen = []
+        for task_index in range(task_count):
+            seen.extend(
+                p.partition_id
+                for p in category.partition_slice(task_index, task_count)
+            )
+        assert sorted(seen) == [p.partition_id for p in category.partitions]
+        assert len(seen) == len(set(seen))
+
+    def test_round_robin_assignment(self):
+        category = Category("ads", 5)
+        slice_0 = category.partition_slice(0, 2)
+        assert [p.partition_id for p in slice_0] == ["ads/0", "ads/2", "ads/4"]
+
+    def test_more_tasks_than_partitions_leaves_some_idle(self):
+        category = Category("ads", 2)
+        assert category.partition_slice(2, 4) == []
+
+    def test_bad_index_rejected(self):
+        category = Category("ads", 4)
+        with pytest.raises(ScribeError):
+            category.partition_slice(2, 2)
+        with pytest.raises(ScribeError):
+            category.partition_slice(-1, 2)
+        with pytest.raises(ScribeError):
+            category.partition_slice(0, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+    )
+    def test_slices_partition_the_category(self, num_partitions, task_count):
+        category = Category("c", num_partitions)
+        ids = []
+        for task_index in range(task_count):
+            ids.extend(
+                p.partition_id
+                for p in category.partition_slice(task_index, task_count)
+            )
+        assert sorted(ids) == sorted(p.partition_id for p in category.partitions)

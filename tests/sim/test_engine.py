@@ -1,0 +1,196 @@
+"""Unit tests for the discrete-event engine and periodic timers."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Engine
+
+
+def test_call_in_fires_at_right_time():
+    engine = Engine()
+    seen = []
+    engine.call_in(5.0, lambda: seen.append(engine.now))
+    engine.run_until(10.0)
+    assert seen == [5.0]
+    assert engine.now == 10.0
+
+
+def test_call_at_absolute_time():
+    engine = Engine()
+    seen = []
+    engine.call_at(7.5, lambda: seen.append(engine.now))
+    engine.run_until(7.5)
+    assert seen == [7.5]
+
+
+def test_call_at_in_the_past_rejected():
+    engine = Engine()
+    engine.run_until(10.0)
+    with pytest.raises(SimulationError):
+        engine.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Engine().call_in(-1.0, lambda: None)
+
+
+def test_run_until_excludes_later_events():
+    engine = Engine()
+    seen = []
+    engine.call_in(5.0, lambda: seen.append("early"))
+    engine.call_in(15.0, lambda: seen.append("late"))
+    engine.run_until(10.0)
+    assert seen == ["early"]
+    engine.run_until(20.0)
+    assert seen == ["early", "late"]
+
+
+def test_run_until_event_exactly_on_deadline_fires():
+    engine = Engine()
+    seen = []
+    engine.call_in(10.0, lambda: seen.append("on-deadline"))
+    engine.run_until(10.0)
+    assert seen == ["on-deadline"]
+
+
+def test_run_for_advances_relative():
+    engine = Engine()
+    engine.run_for(3.0)
+    engine.run_for(4.0)
+    assert engine.now == 7.0
+
+
+def test_run_until_past_deadline_rejected():
+    engine = Engine()
+    engine.run_until(10.0)
+    with pytest.raises(SimulationError):
+        engine.run_until(5.0)
+
+
+def test_events_scheduled_during_run_are_delivered():
+    engine = Engine()
+    seen = []
+
+    def chain():
+        seen.append(engine.now)
+        if engine.now < 3.0:
+            engine.call_in(1.0, chain)
+
+    engine.call_in(1.0, chain)
+    engine.run_until(10.0)
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_drain_counts_events():
+    engine = Engine()
+    for i in range(5):
+        engine.call_in(float(i + 1), lambda: None)
+    assert engine.drain() == 5
+
+
+def test_drain_guards_against_runaway():
+    engine = Engine()
+
+    def reschedule():
+        engine.call_in(1.0, reschedule)
+
+    engine.call_in(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        engine.drain(max_events=100)
+
+
+class TestTimer:
+    def test_periodic_firing(self):
+        engine = Engine()
+        times = []
+        engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(35.0)
+        assert times == [10.0, 20.0, 30.0]
+
+    def test_initial_delay_overrides_first_firing(self):
+        engine = Engine()
+        times = []
+        engine.every(10.0, lambda: times.append(engine.now), initial_delay=1.0)
+        engine.run_until(25.0)
+        assert times == [1.0, 11.0, 21.0]
+
+    def test_cancel_stops_firing(self):
+        engine = Engine()
+        times = []
+        timer = engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(25.0)
+        timer.cancel()
+        engine.run_until(100.0)
+        assert times == [10.0, 20.0]
+        assert not timer.active
+
+    def test_pause_and_resume(self):
+        engine = Engine()
+        times = []
+        timer = engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(15.0)
+        timer.pause()
+        engine.run_until(50.0)
+        assert times == [10.0]
+        timer.resume()
+        engine.run_until(65.0)
+        assert times == [10.0, 60.0]
+
+    def test_resume_unpaused_timer_is_noop(self):
+        engine = Engine()
+        timer = engine.every(10.0, lambda: None)
+        timer.resume()
+        engine.run_until(15.0)
+        assert timer.fire_count == 1
+
+    def test_resume_cancelled_timer_rejected(self):
+        engine = Engine()
+        timer = engine.every(10.0, lambda: None)
+        timer.cancel()
+        with pytest.raises(SimulationError):
+            timer.resume()
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().every(0.0, lambda: None)
+
+    def test_callback_exception_does_not_kill_timer(self):
+        engine = Engine()
+        fires = []
+
+        def flaky():
+            fires.append(engine.now)
+            if len(fires) == 1:
+                raise RuntimeError("transient")
+
+        engine.every(10.0, flaky)
+        with pytest.raises(RuntimeError):
+            engine.run_until(10.0)
+        # Timer re-armed itself before the callback ran.
+        engine.run_until(25.0)
+        assert fires == [10.0, 20.0]
+
+    def test_fire_count_tracks_firings(self):
+        engine = Engine()
+        timer = engine.every(5.0, lambda: None)
+        engine.run_until(22.0)
+        assert timer.fire_count == 4
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a, b = Engine(seed=42), Engine(seed=42)
+        draws_a = [a.rng.random() for _ in range(10)]
+        draws_b = [b.rng.random() for _ in range(10)]
+        assert draws_a == draws_b
+
+    def test_different_seed_different_draws(self):
+        a, b = Engine(seed=1), Engine(seed=2)
+        assert [a.rng.random() for _ in range(10)] != [
+            b.rng.random() for _ in range(10)
+        ]

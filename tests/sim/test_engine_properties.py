@@ -1,0 +1,79 @@
+"""Property tests for the discrete-event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=1, max_size=40,
+    )
+)
+def test_events_always_delivered_in_time_order(delays):
+    engine = Engine()
+    fired = []
+    for index, delay in enumerate(delays):
+        engine.call_in(
+            delay, lambda t=delay, i=index: fired.append((engine.now, t, i))
+        )
+    engine.run_until(1001.0)
+    assert len(fired) == len(delays)
+    times = [now for now, __, __ in fired]
+    assert times == sorted(times)
+    for now, delay, __ in fired:
+        assert now == delay
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    same_time_count=st.integers(min_value=1, max_value=20),
+    at=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_simultaneous_events_fifo(same_time_count, at):
+    engine = Engine()
+    order = []
+    for index in range(same_time_count):
+        engine.call_at(at, lambda i=index: order.append(i))
+    engine.run_until(101.0)
+    assert order == list(range(same_time_count))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    interval=st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+    horizon=st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+)
+def test_timer_fires_exactly_floor_times(interval, horizon):
+    engine = Engine()
+    timer = engine.every(interval, lambda: None)
+    engine.run_until(horizon)
+    expected = int(horizon / interval)
+    # Floating point: the firing at k*interval counts iff k*interval <= horizon.
+    assert abs(timer.fire_count - expected) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    splits=st.lists(
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        min_size=1, max_size=10,
+    )
+)
+def test_run_until_tiles_time_exactly(splits):
+    """Many small run_for calls equal one big one (no time leaks)."""
+    engine = Engine()
+    ticks = []
+    engine.every(1.0, lambda: ticks.append(engine.now))
+    for split in splits:
+        engine.run_for(split)
+    assert engine.now == sum(splits)
+
+    reference = Engine()
+    ref_ticks = []
+    reference.every(1.0, lambda: ref_ticks.append(reference.now))
+    reference.run_for(sum(splits))
+    assert ticks == ref_ticks

@@ -1,0 +1,76 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import EventQueue
+
+
+def test_empty_queue_is_falsy():
+    queue = EventQueue()
+    assert not queue
+    assert len(queue) == 0
+    assert queue.peek_time() is None
+
+
+def test_pop_from_empty_raises():
+    with pytest.raises(SimulationError):
+        EventQueue().pop()
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    order = []
+    queue.push(3.0, lambda: order.append("c"))
+    queue.push(1.0, lambda: order.append("a"))
+    queue.push(2.0, lambda: order.append("b"))
+    while queue:
+        __, callback = queue.pop()
+        callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    """Ties break by scheduling order, keeping runs deterministic."""
+    queue = EventQueue()
+    order = []
+    for label in "abcde":
+        queue.push(1.0, lambda label=label: order.append(label))
+    while queue:
+        __, callback = queue.pop()
+        callback()
+    assert order == list("abcde")
+
+
+def test_negative_time_rejected():
+    with pytest.raises(SimulationError):
+        EventQueue().push(-0.1, lambda: None)
+
+
+def test_cancelled_event_is_skipped():
+    queue = EventQueue()
+    fired = []
+    event = queue.push(1.0, lambda: fired.append("cancelled"))
+    queue.push(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    assert len(queue) == 1
+    time, callback = queue.pop()
+    callback()
+    assert time == 2.0
+    assert fired == ["kept"]
+
+
+def test_peek_time_skips_cancelled_head():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(5.0, lambda: None)
+    event.cancel()
+    assert queue.peek_time() == 5.0
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    queue.clear()
+    assert not queue

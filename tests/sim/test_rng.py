@@ -1,0 +1,72 @@
+"""Unit tests for the seeded RNG helpers."""
+
+import pytest
+
+from repro.sim import SeededRng
+
+
+def test_same_seed_reproduces_sequence():
+    a, b = SeededRng(7), SeededRng(7)
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_fork_streams_are_independent():
+    parent = SeededRng(7)
+    child_a = parent.fork("scribe")
+    child_b = parent.fork("cluster")
+    assert [child_a.random() for _ in range(5)] != [
+        child_b.random() for _ in range(5)
+    ]
+
+
+def test_fork_is_deterministic():
+    a = SeededRng(7).fork("scribe")
+    b = SeededRng(7).fork("scribe")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_uniform_within_bounds():
+    rng = SeededRng(0)
+    for _ in range(100):
+        value = rng.uniform(2.0, 3.0)
+        assert 2.0 <= value <= 3.0
+
+
+def test_randint_within_bounds():
+    rng = SeededRng(0)
+    values = {rng.randint(1, 3) for _ in range(100)}
+    assert values == {1, 2, 3}
+
+
+def test_jitter_stays_within_fraction():
+    rng = SeededRng(0)
+    for _ in range(100):
+        value = rng.jitter(100.0, 0.1)
+        assert 90.0 <= value <= 110.0
+
+
+def test_jitter_zero_fraction_is_identity():
+    assert SeededRng(0).jitter(42.0, 0.0) == 42.0
+
+
+def test_jitter_negative_fraction_rejected():
+    with pytest.raises(ValueError):
+        SeededRng(0).jitter(1.0, -0.5)
+
+
+def test_choice_and_sample():
+    rng = SeededRng(0)
+    items = ["a", "b", "c"]
+    assert rng.choice(items) in items
+    sampled = rng.sample(items, 2)
+    assert len(sampled) == 2
+    assert set(sampled) <= set(items)
+
+
+def test_lognormal_is_positive():
+    rng = SeededRng(0)
+    assert all(rng.lognormal(0.0, 1.0) > 0 for _ in range(50))
+
+
+def test_seed_property():
+    assert SeededRng(99).seed == 99

@@ -1,0 +1,141 @@
+"""Tests for regional constraints in the balancer (paper section IV-B)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ResourceVector
+from repro.errors import PlacementError
+from repro.tasks import compute_assignment
+
+
+def containers_in_regions(per_region):
+    """``{"east": 3, "west": 2}`` → capacities and region map."""
+    capacities = {}
+    regions = {}
+    for region, count in per_region.items():
+        for index in range(count):
+            cid = f"{region}-{index}"
+            capacities[cid] = ResourceVector(cpu=8.0, memory_gb=32.0)
+            regions[cid] = region
+    return capacities, regions
+
+
+def shards(count, cpu=0.5):
+    return {
+        f"shard-{i:05d}": ResourceVector(cpu=cpu, memory_gb=0.5)
+        for i in range(count)
+    }
+
+
+def test_constrained_shards_stay_in_region():
+    capacities, regions = containers_in_regions({"east": 3, "west": 3})
+    loads = shards(60)
+    shard_regions = {
+        shard_id: ("east" if i % 2 == 0 else "west")
+        for i, shard_id in enumerate(sorted(loads))
+    }
+    change = compute_assignment(
+        loads, capacities,
+        container_regions=regions, shard_regions=shard_regions,
+    )
+    for shard_id, container_id in change.assignment.items():
+        assert regions[container_id] == shard_regions[shard_id]
+
+
+def test_unconstrained_shards_go_anywhere():
+    capacities, regions = containers_in_regions({"east": 2, "west": 2})
+    loads = shards(40)
+    change = compute_assignment(
+        loads, capacities, container_regions=regions, shard_regions={},
+    )
+    used_regions = {regions[cid] for cid in change.assignment.values()}
+    assert used_regions == {"east", "west"}
+
+
+def test_unsatisfiable_region_rejected():
+    capacities, regions = containers_in_regions({"east": 2})
+    loads = shards(4)
+    shard_regions = {shard_id: "mars" for shard_id in loads}
+    with pytest.raises(PlacementError, match="mars"):
+        compute_assignment(
+            loads, capacities,
+            container_regions=regions, shard_regions=shard_regions,
+        )
+
+
+def test_phase1_evicts_region_violations():
+    """A shard currently on the wrong region's container must move."""
+    capacities, regions = containers_in_regions({"east": 2, "west": 2})
+    loads = shards(8)
+    shard_regions = {shard_id: "east" for shard_id in loads}
+    current = {shard_id: "west-0" for shard_id in loads}
+    change = compute_assignment(
+        loads, capacities, current=current,
+        container_regions=regions, shard_regions=shard_regions,
+    )
+    for container_id in change.assignment.values():
+        assert regions[container_id] == "east"
+    assert change.num_moves == len(loads)
+
+
+def test_phase3_respects_regions():
+    """Band rebalancing never drags a pinned shard out of its region."""
+    capacities, regions = containers_in_regions({"east": 1, "west": 3})
+    loads = shards(30, cpu=0.5)
+    shard_regions = {shard_id: "east" for shard_id in sorted(loads)[:10]}
+    change = compute_assignment(
+        loads, capacities,
+        container_regions=regions, shard_regions=shard_regions,
+    )
+    for shard_id, required in shard_regions.items():
+        assert regions[change.assignment[shard_id]] == required
+
+
+def test_mixed_constraints_balance_within_regions():
+    capacities, regions = containers_in_regions({"east": 4, "west": 4})
+    loads = shards(160)
+    shard_regions = {
+        shard_id: "east" for shard_id in sorted(loads)[:80]
+    }
+    change = compute_assignment(
+        loads, capacities,
+        container_regions=regions, shard_regions=shard_regions,
+    )
+    per_container = {}
+    for shard_id, container_id in change.assignment.items():
+        per_container[container_id] = per_container.get(container_id, 0) + 1
+    counts = sorted(per_container.values())
+    assert counts[-1] - counts[0] <= 8, "roughly even despite constraints"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    east=st.integers(min_value=1, max_value=5),
+    west=st.integers(min_value=1, max_value=5),
+    num_shards=st.integers(min_value=0, max_value=60),
+    pinned_fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_regions_always_respected(east, west, num_shards,
+                                           pinned_fraction, seed):
+    import random
+
+    rng = random.Random(seed)
+    capacities, regions = containers_in_regions({"east": east, "west": west})
+    loads = {
+        f"shard-{i:05d}": ResourceVector(cpu=rng.uniform(0.05, 1.5))
+        for i in range(num_shards)
+    }
+    shard_regions = {
+        shard_id: rng.choice(["east", "west"])
+        for shard_id in loads
+        if rng.random() < pinned_fraction
+    }
+    change = compute_assignment(
+        loads, capacities,
+        container_regions=regions, shard_regions=shard_regions,
+    )
+    assert set(change.assignment) == set(loads)
+    for shard_id, required in shard_regions.items():
+        assert regions[change.assignment[shard_id]] == required

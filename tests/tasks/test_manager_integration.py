@@ -1,0 +1,290 @@
+"""Integration tests for Task Managers + Shard Manager + platform wiring.
+
+These exercise the paper's section IV end to end: two-level scheduling,
+shard movement, heartbeat failover (40 s connection timeout vs 60 s
+fail-over), degraded modes, and the no-duplicate / no-loss invariants.
+"""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+
+
+def small_platform(num_hosts=3, num_shards=16, seed=7, **config_overrides):
+    config = PlatformConfig(num_shards=num_shards, containers_per_host=2)
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    platform = Turbine.create(num_hosts=num_hosts, seed=seed, config=config)
+    platform.start()
+    return platform
+
+
+def provision_and_settle(platform, spec, settle=300.0):
+    platform.provision(spec)
+    platform.run_for(seconds=settle)
+
+
+class TestScheduling:
+    def test_tasks_start_within_two_minutes(self):
+        """End-to-end scheduling is 1–2 minutes on average (section IV-D)."""
+        platform = small_platform()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.run_for(seconds=150.0)
+        assert len(platform.tasks_of_job("job")) == 4
+
+    def test_no_duplicate_tasks(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=8)
+        )
+        tasks = platform.running_tasks()
+        assert len(tasks) == len(set(tasks)) == 8
+
+    def test_tasks_spread_across_containers(self):
+        platform = small_platform(num_hosts=4, num_shards=64)
+        provision_and_settle(
+            platform,
+            JobSpec(job_id="job", input_category="cat", task_count=32),
+        )
+        owners = {
+            manager.container_id
+            for manager in platform.task_managers.values()
+            if manager.running_task_ids()
+        }
+        assert len(owners) >= 4, "32 tasks should land on several containers"
+
+    def test_data_is_processed(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform,
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=10.0),
+        )
+        platform.scribe.get_category("cat").append(50.0)
+        platform.run_for(minutes=5)
+        assert platform.job_lag_mb("job") == pytest.approx(0.0, abs=1e-6)
+
+    def test_parallelism_change_restarts_with_new_count(self):
+        from repro.jobs import ConfigLevel
+
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.job_service.patch("job", ConfigLevel.SCALER, {"task_count": 8})
+        platform.run_for(minutes=4)
+        assert len(platform.tasks_of_job("job")) == 8
+
+    def test_package_release_restarts_tasks_in_place(self):
+        from repro.jobs import ConfigLevel
+
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.job_service.patch(
+            "job", ConfigLevel.PROVISIONER,
+            {"package": {"name": "stream_engine", "version": "2.0"}},
+        )
+        platform.run_for(minutes=4)
+        versions = {
+            task.spec.package_version
+            for manager in platform.task_managers.values()
+            for task in manager.tasks.values()
+            if task.spec.job_id == "job"
+        }
+        assert versions == {"2.0"}
+
+    def test_job_stop_removes_tasks(self):
+        from repro.types import JobState
+
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.job_store.set_state("job", JobState.STOPPED)
+        platform.actuator.stop_tasks("job")
+        platform.run_for(minutes=3)
+        assert platform.tasks_of_job("job") == []
+
+
+class TestFailover:
+    def test_host_failure_moves_tasks(self):
+        platform = small_platform(num_hosts=3)
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=8)
+        )
+        assert len(platform.tasks_of_job("job")) == 8
+        platform.cluster.fail_host("host-0")
+        # Heartbeats go stale after 60 s; fail-over plus restart within ~2 min.
+        platform.run_for(minutes=4)
+        assert len(platform.tasks_of_job("job")) == 8
+        for manager in platform.task_managers.values():
+            assert manager.container.host_id != "host-0"
+
+    def test_failover_event_recorded(self):
+        platform = small_platform(num_hosts=3)
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.cluster.fail_host("host-1")
+        platform.run_for(minutes=3)
+        assert platform.shard_manager.failover_events, "failover must fire"
+
+    def test_partitioned_manager_reboots_before_failover(self):
+        """The 40 s connection timeout fires before the 60 s fail-over,
+        so no duplicate tasks can exist (section IV-C)."""
+        platform = small_platform(num_hosts=3)
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=8)
+        )
+        victim = next(
+            manager for manager in platform.task_managers.values()
+            if manager.running_task_ids()
+        )
+        victim.partitioned = True
+        platform.run_for(minutes=5)
+        assert victim.reboot_count >= 1
+        tasks = platform.running_tasks()
+        assert len(tasks) == len(set(tasks)), "no duplicates at any point"
+        assert len(platform.tasks_of_job("job")) == 8
+
+    def test_short_partition_keeps_shards(self):
+        """A connection blip shorter than the timeout changes nothing."""
+        platform = small_platform(num_hosts=3)
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=8)
+        )
+        victim = next(
+            manager for manager in platform.task_managers.values()
+            if manager.assigned_shards
+        )
+        shards_before = set(victim.assigned_shards)
+        victim.partitioned = True
+        platform.run_for(seconds=30.0)  # under the 40 s timeout
+        victim.partitioned = False
+        platform.run_for(minutes=2)
+        assert victim.reboot_count == 0
+        assert victim.assigned_shards == shards_before
+
+    def test_recovered_host_rejoins_and_gets_load(self):
+        platform = small_platform(num_hosts=3, num_shards=32)
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=16)
+        )
+        platform.cluster.fail_host("host-0")
+        platform.run_for(minutes=3)
+        platform.recover_host("host-0")
+        # The next rebalance (30 min default) spreads shards back.
+        platform.run_for(minutes=35)
+        recovered_managers = [
+            manager for manager in platform.task_managers.values()
+            if manager.container.host_id == "host-0"
+        ]
+        assert recovered_managers
+        assert any(m.assigned_shards for m in recovered_managers)
+
+
+class TestDegradedModes:
+    def test_task_service_down_tasks_keep_running(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.task_service.available = False
+        platform.run_for(minutes=10)
+        assert len(platform.tasks_of_job("job")) == 4
+
+    def test_shard_manager_down_tasks_keep_running(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.shard_manager.available = False
+        # Managers reboot after the 40 s timeout but keep retrying; when the
+        # Shard Manager returns, they re-adopt their shards.
+        platform.run_for(minutes=2)
+        platform.shard_manager.available = True
+        platform.run_for(minutes=3)
+        assert len(platform.tasks_of_job("job")) == 4
+
+    def test_job_admission_halt_leaves_running_jobs(self):
+        from repro.errors import DegradedModeError
+
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        platform.job_service.admitting = False
+        with pytest.raises(DegradedModeError):
+            platform.provision(JobSpec(job_id="new", input_category="x"))
+        platform.run_for(minutes=2)
+        assert len(platform.tasks_of_job("job")) == 4
+
+
+class TestShardMovement:
+    def test_drop_timeout_triggers_force_kill(self):
+        platform = small_platform(num_hosts=2, num_shards=8)
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=8)
+        )
+        victim = next(
+            manager for manager in platform.task_managers.values()
+            if manager.assigned_shards
+        )
+        victim.slow_drop = True
+        shard = sorted(victim.assigned_shards)[0]
+        destination = next(
+            manager for manager in platform.task_managers.values()
+            if manager is not victim
+        )
+        platform.shard_manager._move_shard(
+            shard, victim.container_id, destination.container_id
+        )
+        assert shard not in victim.assigned_shards, "force-killed"
+        assert shard in destination.assigned_shards
+
+    def test_load_reports_reach_shard_manager(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform,
+            JobSpec(job_id="job", input_category="cat", task_count=4,
+                    rate_per_thread_mb=5.0),
+        )
+        # Generate sustained traffic so loads are non-trivial.
+        for __ in range(12):
+            platform.scribe.get_category("cat").append(60.0)
+            platform.run_for(minutes=1)
+        platform.run_for(minutes=11)  # past a 10-minute report interval
+        assert platform.shard_manager.shard_loads, "loads must be reported"
+
+
+class TestStatsCollection:
+    def test_job_metrics_recorded(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform,
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=5.0),
+        )
+        for __ in range(5):
+            platform.scribe.get_category("cat").append(30.0)
+            platform.run_for(minutes=1)
+        metrics = platform.metrics
+        assert metrics.latest("job", "input_rate_mb") > 0
+        assert metrics.latest("job", "processing_rate_mb") > 0
+        assert metrics.latest("job", "running_tasks") == 2.0
+        assert metrics.latest("job", "time_lagged") is not None
+
+    def test_lag_metric_reflects_backlog(self):
+        platform = small_platform()
+        provision_and_settle(
+            platform,
+            JobSpec(job_id="job", input_category="cat", task_count=1,
+                    rate_per_thread_mb=1.0),
+        )
+        platform.scribe.get_category("cat").append(3600.0)  # 1 h of work
+        platform.run_for(minutes=3)
+        assert platform.metrics.latest("job", "time_lagged") > 90.0

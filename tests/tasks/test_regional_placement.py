@@ -1,0 +1,82 @@
+"""End-to-end regional placement through the Shard Manager."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.cluster import TupperwareCluster
+from repro.sim import Engine
+
+
+def regional_platform():
+    """Two regions, two hosts each."""
+    engine = Engine(seed=19)
+    cluster = TupperwareCluster()
+    for index in range(2):
+        cluster.add_host(f"east-{index}", region="east")
+        cluster.add_host(f"west-{index}", region="west")
+    platform = Turbine(
+        engine, cluster,
+        config=PlatformConfig(num_shards=32, containers_per_host=2),
+    )
+    platform.start()
+    return platform
+
+
+def test_container_inherits_host_region():
+    platform = regional_platform()
+    for manager in platform.task_managers.values():
+        host = platform.cluster.hosts[manager.container.host_id]
+        assert manager.region == host.region
+
+
+def test_pinned_shards_placed_in_region():
+    platform = regional_platform()
+    sm = platform.shard_manager
+    from repro.tasks.shard import all_shard_ids
+
+    pinned = all_shard_ids(sm.num_shards)[:10]
+    for shard_id in pinned:
+        sm.pin_shard_to_region(shard_id, "east")
+    sm.rebalance()
+    east_containers = {
+        manager.container_id
+        for manager in sm.live_managers()
+        if manager.region == "east"
+    }
+    for shard_id in pinned:
+        assert sm.assignment[shard_id] in east_containers
+
+
+def test_pinned_shards_survive_failover_in_region():
+    platform = regional_platform()
+    sm = platform.shard_manager
+    from repro.tasks.shard import all_shard_ids
+
+    pinned = all_shard_ids(sm.num_shards)[:8]
+    for shard_id in pinned:
+        sm.pin_shard_to_region(shard_id, "east")
+    sm.rebalance()
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=4)
+    )
+    platform.run_for(minutes=3)
+    platform.cluster.fail_host("east-0")
+    platform.run_for(minutes=3)
+    east_containers = {
+        manager.container_id
+        for manager in sm.live_managers()
+        if manager.region == "east"
+    }
+    for shard_id in pinned:
+        assert sm.assignment[shard_id] in east_containers, (
+            "failover must keep pinned shards in their region"
+        )
+
+
+def test_unpin_releases_constraint():
+    platform = regional_platform()
+    sm = platform.shard_manager
+    sm.pin_shard_to_region("shard-00001", "west")
+    sm.unpin_shard("shard-00001")
+    assert "shard-00001" not in sm.shard_regions
+    sm.unpin_shard("shard-00001")  # idempotent

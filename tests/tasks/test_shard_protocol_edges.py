@@ -1,0 +1,90 @@
+"""Edge cases of the shard movement and heartbeat protocol."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.errors import DegradedModeError
+
+
+def small_platform():
+    platform = Turbine.create(
+        num_hosts=2, seed=83,
+        config=PlatformConfig(num_shards=8, containers_per_host=2),
+    )
+    platform.start()
+    platform.provision(JobSpec(job_id="job", input_category="cat", task_count=4))
+    platform.run_for(minutes=3)
+    return platform
+
+
+class TestTaskManagerEdges:
+    def test_duplicate_add_shard_is_idempotent(self):
+        platform = small_platform()
+        manager = next(
+            m for m in platform.task_managers.values() if m.assigned_shards
+        )
+        shard = sorted(manager.assigned_shards)[0]
+        tasks_before = dict(manager.tasks)
+        manager.add_shard(shard)
+        assert manager.tasks.keys() == tasks_before.keys()
+        for task_id, task in manager.tasks.items():
+            assert task is tasks_before[task_id], "tasks must not restart"
+
+    def test_drop_unknown_shard_is_safe(self):
+        platform = small_platform()
+        manager = next(iter(platform.task_managers.values()))
+        manager.drop_shard("shard-99999")  # not assigned here
+
+    def test_force_kill_unknown_shard_is_safe(self):
+        platform = small_platform()
+        manager = next(iter(platform.task_managers.values()))
+        manager.force_kill_shard("shard-99999")
+
+    def test_shutdown_stops_everything(self):
+        platform = small_platform()
+        manager = next(
+            m for m in platform.task_managers.values() if m.tasks
+        )
+        manager.shutdown()
+        assert not manager.tasks
+        assert manager.container.reservations == {}
+
+
+class TestShardManagerEdges:
+    def test_heartbeat_from_unknown_container_rejected(self):
+        platform = small_platform()
+        with pytest.raises(DegradedModeError):
+            platform.shard_manager.heartbeat("turbine-unknown")
+
+    def test_rebalance_with_no_managers_is_noop(self):
+        platform = small_platform()
+        for manager in list(platform.task_managers.values()):
+            platform.shard_manager.unregister_container(manager.container_id)
+        before = dict(platform.shard_manager.assignment)
+        platform.shard_manager.rebalance()
+        assert platform.shard_manager.assignment == before
+
+    def test_failover_with_no_survivors_defers(self):
+        """With zero live containers, orphaned shards stay mapped and are
+        picked up once capacity returns."""
+        platform = small_platform()
+        for host in list(platform.cluster.live_hosts()):
+            platform.cluster.fail_host(host.host_id)
+        platform.run_for(minutes=2)  # heartbeats stale, failovers fire
+        events = platform.shard_manager.failover_events
+        assert events, "failovers must still be recorded"
+        assert all(e.shards_moved == 0 for e in events[-2:]) or any(
+            e.shards_moved == 0 for e in events
+        )
+        # Capacity returns; the next rebalance re-places everything.
+        for host in list(platform.cluster.hosts.values()):
+            platform.recover_host(host.host_id)
+        platform.run_for(minutes=35)
+        assert len(platform.tasks_of_job("job")) == 4
+
+    def test_unregister_then_heartbeat_degraded(self):
+        platform = small_platform()
+        manager = next(iter(platform.task_managers.values()))
+        platform.shard_manager.unregister_container(manager.container_id)
+        with pytest.raises(DegradedModeError):
+            platform.shard_manager.heartbeat(manager.container_id)

@@ -1,0 +1,100 @@
+"""Unit tests for the JobStatsCollector (equation 1 and friends)."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.tasks.stats import INFINITE_LAG
+
+
+def collector_platform(step_interval=10.0, stats_interval=60.0):
+    platform = Turbine.create(
+        num_hosts=2, seed=47,
+        config=PlatformConfig(num_shards=8, containers_per_host=2,
+                              step_interval=step_interval,
+                              stats_interval=stats_interval),
+    )
+    platform.start()
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=2,
+                rate_per_thread_mb=4.0),
+        partitions=8,
+    )
+    platform.run_for(minutes=3)
+    return platform
+
+
+def test_input_rate_from_head_deltas():
+    platform = collector_platform()
+    for __ in range(5):
+        platform.scribe.get_category("cat").append(3.0 * 60.0)
+        platform.run_for(minutes=1)
+    assert platform.metrics.latest("job", "input_rate_mb") == pytest.approx(
+        3.0, rel=0.1
+    )
+
+
+def test_processing_rate_tracks_input_at_steady_state():
+    platform = collector_platform()
+    for __ in range(6):
+        platform.scribe.get_category("cat").append(3.0 * 60.0)
+        platform.run_for(minutes=1)
+    assert platform.metrics.latest(
+        "job", "processing_rate_mb"
+    ) == pytest.approx(3.0, rel=0.15)
+
+
+def test_equation_1_lag():
+    """time_lagged = bytes_lagged / processing capability."""
+    platform = collector_platform()
+    # Warm up throughput history, then dump a backlog.
+    for __ in range(3):
+        platform.scribe.get_category("cat").append(3.0 * 60.0)
+        platform.run_for(minutes=1)
+    platform.scribe.get_category("cat").append(4800.0)
+    platform.run_for(minutes=2)
+    lagged = platform.metrics.latest("job", "bytes_lagged_mb")
+    time_lagged = platform.metrics.latest("job", "time_lagged")
+    rate = platform.metrics.latest("job", "processing_rate_mb")
+    assert lagged > 0
+    assert time_lagged == pytest.approx(lagged / rate, rel=0.01)
+
+
+def test_zero_throughput_with_backlog_is_infinite_lag():
+    platform = collector_platform()
+    # Tasks never ran (stop them before any processing history exists).
+    for manager in platform.task_managers.values():
+        for task in manager.tasks.values():
+            task.stop()
+    platform.scribe.get_category("cat").append(1000.0)
+    platform.run_for(minutes=20)  # long enough that history is empty too
+    assert platform.metrics.latest("job", "time_lagged") == INFINITE_LAG
+
+
+def test_task_rate_stdev_reflects_skew():
+    from repro.workloads import TrafficDriver
+
+    platform = collector_platform()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=10.0)
+    driver.add_source("cat", lambda t: 4.0)
+    driver.start()
+    category = platform.scribe.get_category("cat")
+    category.set_weights([8.0, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1])
+    platform.run_for(minutes=5)
+    skewed = platform.metrics.latest("job", "task_rate_stdev")
+    category.set_weights(None)
+    platform.run_for(minutes=5)
+    balanced = platform.metrics.latest("job", "task_rate_stdev")
+    assert skewed > balanced
+    assert balanced == pytest.approx(0.0, abs=0.1)
+
+
+def test_running_tasks_gauge_and_reconciliation():
+    platform = collector_platform()
+    platform.run_for(minutes=2)
+    assert platform.metrics.latest("job", "running_tasks") == 2.0
+    # Stopping tasks behind the control plane's back is *corrected*: the
+    # specs still exist, so the next refresh restarts them.
+    for manager in platform.task_managers.values():
+        manager.stop_job_tasks("job")
+    platform.run_for(minutes=3)
+    assert platform.metrics.latest("job", "running_tasks") == 2.0

@@ -1,0 +1,39 @@
+"""Tests for the optional per-task metric recording path."""
+
+import pytest
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.workloads import TrafficDriver
+
+
+def run_platform(record: bool):
+    platform = Turbine.create(
+        num_hosts=2, seed=53,
+        config=PlatformConfig(num_shards=8, containers_per_host=2,
+                              record_task_metrics=record),
+    )
+    platform.start()
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=2,
+                rate_per_thread_mb=4.0),
+    )
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    driver.add_source("cat", lambda t: 4.0)
+    driver.start()
+    platform.run_for(minutes=10)
+    return platform
+
+
+def test_task_metrics_recorded_when_enabled():
+    platform = run_platform(record=True)
+    cpu = platform.metrics.latest("job:0", "cpu_used")
+    assert cpu is not None and cpu > 0
+    assert platform.metrics.latest("job:0", "memory_gb") > 0
+    assert platform.metrics.latest("job:1", "rate_mb") is not None
+
+
+def test_task_metrics_absent_by_default():
+    platform = run_platform(record=False)
+    assert platform.metrics.latest("job:0", "cpu_used") is None
+    # Job-level metrics are always recorded regardless.
+    assert platform.metrics.latest("job", "processing_rate_mb") > 0

@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_experiments_lists_benches(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "test_fig8_backlog_recovery.py" in out
+    assert "pytest benchmarks/" in out
+
+
+def test_growth_prints_table(capsys):
+    assert main(["growth", "--jobs", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "month" in out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) >= 14  # header + 13 months
+
+
+def test_footprints_prints_cdfs(capsys):
+    assert main(["footprints", "--jobs", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "task CPU (cores)" in out
+    assert "tasks < 1 core" in out
+
+
+def test_demo_runs_and_reports(capsys):
+    assert main(["demo", "--minutes", "5", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "jobs managed" in out
+    assert "tasks not running" in out
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,26 @@
+"""Examples stay importable (full runs are exercised manually/CI-nightly)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 6, "the README promises several scenarios"
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=lambda path: path.stem
+)
+def test_example_imports_cleanly(path):
+    """Importing must not raise (main() is guarded, so nothing runs)."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} must expose main()"

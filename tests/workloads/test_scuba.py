@@ -1,0 +1,83 @@
+"""Tests for the Scuba Tailer fleet model (Fig. 5 calibration)."""
+
+import pytest
+
+from repro.metrics.aggregate import fraction_below
+from repro.workloads import ScubaFleet
+
+
+def test_fleet_is_reproducible():
+    a = ScubaFleet(100, seed=3)
+    b = ScubaFleet(100, seed=3)
+    assert [p.base_rate_mb for p in a.profiles] == [
+        p.base_rate_mb for p in b.profiles
+    ]
+    assert ScubaFleet(100, seed=4).profiles[0].base_rate_mb != (
+        a.profiles[0].base_rate_mb
+    )
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        ScubaFleet(0)
+
+
+def test_figure_5a_cpu_distribution():
+    """Over 80 % of tasks under one CPU thread; a small share above four."""
+    fleet = ScubaFleet(3000, seed=1)
+    cpus, __ = fleet.task_footprints()
+    assert fraction_below(cpus, 1.0) > 0.80
+    heavy = 1.0 - fraction_below(cpus, 4.0)
+    assert 0.0 < heavy < 0.05, (
+        "a small — but non-empty — percentage over four threads"
+    )
+
+
+def test_figure_5b_memory_distribution():
+    """Every task ≥ ~0.4 GB; over 99 % under 2 GB."""
+    fleet = ScubaFleet(3000, seed=1)
+    __, memories = fleet.task_footprints()
+    assert min(memories) >= 0.4
+    assert fraction_below(memories, 2.0) > 0.99
+
+
+def test_cpu_linear_in_traffic():
+    """"CPU overhead has a near-linear relationship with the traffic
+    volume"."""
+    fleet = ScubaFleet(500, seed=2)
+    for profile in fleet.profiles[:50]:
+        assert profile.task_cpu_cores == pytest.approx(
+            profile.per_task_rate_mb / 2.0
+        )
+
+
+def test_heavy_tables_go_multithreaded_then_split():
+    fleet = ScubaFleet(2000, seed=5)
+    multi_threaded = [p for p in fleet.profiles if p.threads_per_task > 1]
+    assert multi_threaded, "the lognormal tail must produce heavy tables"
+    split = [p for p in fleet.profiles if p.base_rate_mb > 12.0]
+    assert all(p.task_count > 1 for p in split)
+    for profile in fleet.profiles:
+        assert profile.per_task_rate_mb <= 12.0 + 1e-9
+        # Threads cover the per-task rate with 20% headroom.
+        assert profile.threads_per_task * 2.0 * 0.8 >= (
+            profile.per_task_rate_mb - 1e-9
+        )
+
+
+def test_job_specs_are_provisionable():
+    fleet = ScubaFleet(20, seed=6)
+    specs = fleet.job_specs()
+    assert len(specs) == 20
+    for spec, profile in zip(specs, fleet.profiles):
+        assert spec.task_count == profile.task_count
+        assert spec.resources_per_task.memory_gb > profile.task_memory_gb
+        assert spec.rate_per_thread_mb == 2.0
+
+
+def test_aggregates():
+    fleet = ScubaFleet(100, seed=7)
+    assert fleet.total_rate_mb() == pytest.approx(
+        sum(p.base_rate_mb for p in fleet.profiles)
+    )
+    assert fleet.total_tasks() == sum(p.task_count for p in fleet.profiles)

@@ -1,0 +1,60 @@
+"""Tests for spike, skew, and storm schedules."""
+
+import pytest
+
+from repro.workloads import SkewSchedule, SpikeSchedule, StormSchedule
+from repro.workloads.diurnal import constant
+
+
+class TestSpikes:
+    def test_spike_multiplies_in_window(self):
+        schedule = SpikeSchedule(constant(10.0))
+        schedule.add(100.0, 200.0, factor=3.0)
+        assert schedule.rate(50.0) == 10.0
+        assert schedule.rate(150.0) == 30.0
+        assert schedule.rate(200.0) == 10.0  # end exclusive
+
+    def test_overlapping_spikes_compound(self):
+        schedule = SpikeSchedule(constant(10.0))
+        schedule.add(0.0, 100.0, factor=2.0)
+        schedule.add(50.0, 150.0, factor=3.0)
+        assert schedule.rate(75.0) == pytest.approx(60.0)
+
+    def test_invalid_spike_rejected(self):
+        schedule = SpikeSchedule(constant(1.0))
+        with pytest.raises(ValueError):
+            schedule.add(100.0, 100.0, factor=2.0)
+        with pytest.raises(ValueError):
+            schedule.add(0.0, 1.0, factor=-1.0)
+
+
+class TestSkew:
+    def test_weights_only_in_window(self):
+        skew = SkewSchedule(2, [0.9, 0.1], start=100.0, end=200.0)
+        assert skew.weights_at(50.0) is None
+        assert skew.weights_at(150.0) == [0.9, 0.1]
+        assert skew.weights_at(200.0) is None
+
+    def test_wrong_weight_count_rejected(self):
+        with pytest.raises(ValueError):
+            SkewSchedule(3, [1.0, 2.0], 0.0, 1.0)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            SkewSchedule(2, [1.0, 1.0], 10.0, 10.0)
+
+
+class TestStorm:
+    def test_surge_applies_during_storm(self):
+        storm = StormSchedule(constant(100.0), start=10.0, end=20.0, surge=0.16)
+        assert storm.rate(5.0) == 100.0
+        assert storm.rate(15.0) == pytest.approx(116.0)
+        assert storm.rate(25.0) == 100.0
+        assert storm.active(15.0)
+        assert not storm.active(25.0)
+
+    def test_invalid_storm_rejected(self):
+        with pytest.raises(ValueError):
+            StormSchedule(constant(1.0), 10.0, 10.0)
+        with pytest.raises(ValueError):
+            StormSchedule(constant(1.0), 0.0, 1.0, surge=-0.5)

@@ -1,0 +1,60 @@
+"""Tests for weekly traffic modulation."""
+
+import pytest
+
+from repro.workloads import WeeklyPattern
+from repro.workloads.diurnal import DAY, constant
+
+
+def test_weekday_factors_apply():
+    pattern = WeeklyPattern(constant(10.0))
+    assert pattern.rate(0.0) == 10.0            # Monday
+    assert pattern.rate(4 * DAY) == 10.0        # Friday
+    assert pattern.rate(5 * DAY) == pytest.approx(7.0)   # Saturday
+    assert pattern.rate(6 * DAY) == pytest.approx(6.5)   # Sunday
+    assert pattern.rate(7 * DAY) == 10.0        # Monday again
+
+
+def test_day_of_week_wraps():
+    pattern = WeeklyPattern(constant(1.0))
+    assert pattern.day_of_week(0.0) == 0
+    assert pattern.day_of_week(13 * DAY + 1.0) == 6
+    assert pattern.day_of_week(14 * DAY) == 0
+
+
+def test_custom_factors():
+    pattern = WeeklyPattern(constant(10.0), factors=[1, 2, 3, 4, 5, 6, 7])
+    assert pattern.rate(2 * DAY) == 30.0
+
+
+def test_invalid_factors_rejected():
+    with pytest.raises(ValueError):
+        WeeklyPattern(constant(1.0), factors=[1.0] * 6)
+    with pytest.raises(ValueError):
+        WeeklyPattern(constant(1.0), factors=[1.0] * 6 + [-0.5])
+
+
+def test_history_spans_full_weeks():
+    """The pattern analyzer's 14-day lookback covers two full weekly
+    cycles — a Monday looks back at two prior Mondays, not at Sunday's
+    trough. Here: capacity sized for a weekday sustains every Monday in
+    history even though weekends were quieter."""
+    from repro.metrics import MetricStore
+    from repro.scaler import PatternAnalyzer
+    from tests.scaler.helpers import make_snapshot
+
+    metrics = MetricStore()
+    series = metrics.series("job", "input_rate_mb", retention=16 * DAY)
+    pattern = WeeklyPattern(constant(8.0))
+    now = 15 * DAY  # a Monday, two full weeks of history behind it
+    t = 0.0
+    while t <= now:
+        series.record(t, pattern.rate(t))
+        t += 600.0
+    analyzer = PatternAnalyzer(metrics)
+    analyzer.rate_per_thread("job", bootstrap=2.0)
+    snapshot = make_snapshot(time=now, task_count=10, input_rate_mb=8.0)
+    # 5 tasks * 2 MB/s = 10 MB/s covers the 8 MB/s weekday rate.
+    assert analyzer.validate_downscale(snapshot, new_task_count=5).allowed
+    # 3 tasks = 6 MB/s would survive a weekend but not a weekday: vetoed.
+    assert not analyzer.validate_downscale(snapshot, new_task_count=3).allowed
