@@ -8,10 +8,11 @@ DESIGN.md for the architecture and the experiment index.
 from repro.cluster.resources import ResourceVector
 from repro.jobs.configs import ConfigLevel, layer_configs
 from repro.jobs.model import JobSpec
+from repro.obs import Telemetry, TraceEvent, Tracer
 from repro.platform import PlatformConfig, Turbine
 from repro.types import SLO, Priority
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Turbine",
@@ -22,5 +23,8 @@ __all__ = [
     "layer_configs",
     "SLO",
     "Priority",
+    "Tracer",
+    "TraceEvent",
+    "Telemetry",
     "__version__",
 ]

@@ -2,6 +2,8 @@
 
 Commands:
     demo        run a small end-to-end deployment and print a health report
+    timeline    run an incident scenario and print the merged event timeline
+    trace       print the causal decision chain for one job
     growth      print the Fig. 1-style yearly growth table
     footprints  print the Fig. 5-style task footprint summary
     experiments list the benchmark harnesses and what they reproduce
@@ -11,6 +13,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -23,6 +26,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
     )
     platform.attach_scaler()
     platform.attach_health_reporter()
+    if args.trace_out:
+        platform.enable_tracing()
+    if args.telemetry_out:
+        platform.enable_instrumentation()
     platform.start()
     driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
     for index in range(args.jobs):
@@ -34,6 +41,89 @@ def cmd_demo(args: argparse.Namespace) -> int:
     driver.start()
     platform.run_for(minutes=args.minutes)
     print(platform.health.check_once().render())
+    if args.trace_out:
+        platform.tracer.write_jsonl(args.trace_out)
+        print(f"\n{len(platform.tracer.events)} trace events "
+              f"written to {args.trace_out}")
+    if args.telemetry_out:
+        platform.telemetry.write_jsonl(args.telemetry_out)
+        print(f"control-plane telemetry written to {args.telemetry_out}")
+    return 0
+
+
+def _incident_platform(seed: int, minutes: float):
+    """A deterministic incident scenario shared by ``timeline``/``trace``.
+
+    Three overlapping incidents, so every drill-down surface has
+    something to show: ``demo/job-0`` is overloaded (the Auto Scaler
+    scales it up), ``demo/job-1`` gets a poisoned oncall config at t=10min
+    (three failed sync plans, then quarantine), and a host fails at
+    t=20min (Shard Manager failover moves its shards).
+    """
+    from repro import JobSpec, PlatformConfig, Turbine
+    from repro.jobs.configs import ConfigLevel
+    from repro.workloads import TrafficDriver
+
+    platform = Turbine.create(
+        num_hosts=4, seed=seed,
+        config=PlatformConfig(num_shards=32, containers_per_host=2),
+    )
+    platform.attach_scaler()
+    platform.attach_health_reporter()
+    platform.enable_tracing()
+    platform.start()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    rates = {"demo/job-0": 30.0, "demo/job-1": 2.0, "demo/job-2": 2.0}
+    for index, (job_id, rate) in enumerate(sorted(rates.items())):
+        platform.provision(
+            JobSpec(job_id=job_id, input_category=f"cat-{index}",
+                    task_count=2, rate_per_thread_mb=2.0,
+                    task_count_limit=16),
+        )
+        driver.add_source(f"cat-{index}", lambda t, r=rate: r)
+    driver.start()
+
+    platform.run_for(minutes=min(10.0, minutes))
+    if minutes > 10.0:
+        # A poisoned oncall override: spec generation fails inside the
+        # plan, and after three failed rounds the job is quarantined.
+        platform.job_service.patch(
+            "demo/job-1", ConfigLevel.ONCALL, {"task_count": -2}
+        )
+        platform.run_for(minutes=min(10.0, minutes - 10.0))
+    if minutes > 20.0:
+        platform.cluster.fail_host("host-1")
+        platform.run_for(minutes=minutes - 20.0)
+    return platform
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.ops.timeline import IncidentTimeline
+
+    platform = _incident_platform(args.seed, args.minutes)
+    timeline = IncidentTimeline(platform)
+    print(timeline.render(
+        since=args.since,
+        until=args.until,
+        sources=args.source or None,
+        kinds=args.kind or None,
+    ))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import Tracer, render_chain_from_events
+
+    if args.input:
+        try:
+            text = Path(args.input).read_text(encoding="utf-8")
+        except OSError as error:
+            print(f"cannot read trace file: {error}", file=sys.stderr)
+            return 1
+        print(render_chain_from_events(Tracer.load_jsonl(text), args.job_id))
+        return 0
+    platform = _incident_platform(args.seed, args.minutes)
+    print(platform.tracer.render_chain(args.job_id))
     return 0
 
 
@@ -64,25 +154,33 @@ def cmd_footprints(args: argparse.Namespace) -> int:
     return 0
 
 
+def benchmark_index() -> list:
+    """(filename, description) for every harness in ``benchmarks/``.
+
+    Derived from each file's docstring so the listing can never drift
+    from the directory contents again.
+    """
+    import ast
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        return []
+    index = []
+    for path in sorted(bench_dir.glob("test_*.py")):
+        try:
+            doc = ast.get_docstring(ast.parse(path.read_text())) or ""
+        except SyntaxError:
+            doc = ""
+        first_line = doc.strip().splitlines()[0] if doc.strip() else ""
+        index.append((path.name, first_line or "(no description)"))
+    return index
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
-    experiments = [
-        ("test_fig1_growth.py", "Fig. 1 — yearly service growth"),
-        ("test_fig5_task_footprints.py", "Fig. 5 — task footprint CDFs"),
-        ("test_fig6_utilization.py", "Fig. 6 — per-host utilization band"),
-        ("test_fig7_load_balancer.py", "Fig. 7 — LB disable/failover/enable"),
-        ("test_fig8_backlog_recovery.py", "Fig. 8 — backlog recovery 8x"),
-        ("test_fig9_storm.py", "Fig. 9 — storm drill scaling"),
-        ("test_fig10_efficiency.py", "Fig. 10 — rollout resource savings"),
-        ("test_placement_speed.py", "100K shards placed < 2 s"),
-        ("test_sync_speed.py", "tens of thousands of simple syncs"),
-        ("test_scheduling_latency.py", "scheduling/push/failover latencies"),
-        ("test_footprint_reduction.py", "~33% migration footprint saving"),
-        ("test_config_merge.py", "Algorithm 1 merge throughput"),
-        ("test_reactive_scaler.py", "Algorithm 2 vs proactive ablation"),
-        ("test_ablation_vertical.py", "vertical-first churn ablation"),
-        ("test_ablation_patterns.py", "pattern-history flapping ablation"),
-        ("test_ablation_optimizer.py", "IR pushdown shuffle-traffic ablation"),
-    ]
+    experiments = benchmark_index()
+    if not experiments:
+        print("benchmarks/ directory not found", file=sys.stderr)
+        return 1
     for filename, description in experiments:
         print(f"  benchmarks/{filename:35s} {description}")
     print("\nrun with: pytest benchmarks/ --benchmark-only -s")
@@ -101,7 +199,38 @@ def main(argv=None) -> int:
     demo.add_argument("--jobs", type=int, default=4)
     demo.add_argument("--minutes", type=float, default=30.0)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--trace-out", metavar="FILE", default=None,
+                      help="enable tracing and export trace JSONL here")
+    demo.add_argument("--telemetry-out", metavar="FILE", default=None,
+                      help="enable instrumentation and export telemetry "
+                           "JSONL here")
     demo.set_defaults(func=cmd_demo)
+
+    timeline = sub.add_parser(
+        "timeline", help="incident scenario: merged operator timeline"
+    )
+    timeline.add_argument("--minutes", type=float, default=40.0)
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--since", type=float, default=0.0)
+    timeline.add_argument("--until", type=float, default=None)
+    timeline.add_argument("--source", action="append", metavar="SOURCE",
+                          help="only events from this source (repeatable, "
+                               "exact match)")
+    timeline.add_argument("--kind", action="append", metavar="KIND",
+                          help="only events whose kind contains this "
+                               "substring (repeatable)")
+    timeline.set_defaults(func=cmd_timeline)
+
+    trace = sub.add_parser(
+        "trace", help="causal decision chain for one job"
+    )
+    trace.add_argument("job_id", help="job to reconstruct, e.g. demo/job-0")
+    trace.add_argument("--minutes", type=float, default=40.0)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--input", metavar="FILE", default=None,
+                       help="read trace JSONL (from demo --trace-out) "
+                            "instead of running the incident scenario")
+    trace.set_defaults(func=cmd_trace)
 
     growth = sub.add_parser("growth", help="Fig. 1-style growth table")
     growth.add_argument("--jobs", type=int, default=1000)

@@ -21,6 +21,12 @@ from repro.jobs.configs import Config, ConfigLevel
 from repro.jobs.model import JobSpec, base_config
 from repro.jobs.schema import validate_typed
 from repro.jobs.store import JobStore
+from repro.obs.trace import (
+    NULL_TRACER,
+    SLOT_CONFIG,
+    SLOT_WRITE_ORIGIN,
+    Tracer,
+)
 from repro.types import JobId, JobState
 
 #: How many CAS retries :meth:`update` attempts before giving up. Conflicts
@@ -32,8 +38,11 @@ DEFAULT_MAX_RETRIES = 16
 class JobService:
     """Validated, serialized access to the Job Store."""
 
-    def __init__(self, store: JobStore) -> None:
+    def __init__(
+        self, store: JobStore, tracer: Optional[Tracer] = None
+    ) -> None:
         self._store = store
+        self._tracer = tracer or NULL_TRACER
         #: When False, new jobs are rejected — the degraded mode in which
         #: Turbine "keep[s] jobs running but not admitting new jobs"
         #: (paper section II).
@@ -54,7 +63,17 @@ class JobService:
                 "job admission is disabled (degraded mode)"
             )
         self._store.create_job(spec.job_id)
+        provision_event = self._tracer.record(
+            "job-service", "provision", job_id=spec.job_id,
+            task_count=spec.task_count,
+        )
+        self._tracer.set_context(
+            spec.job_id, SLOT_WRITE_ORIGIN, provision_event
+        )
         self.update(spec.job_id, ConfigLevel.BASE, lambda __: base_config())
+        self._tracer.set_context(
+            spec.job_id, SLOT_WRITE_ORIGIN, provision_event
+        )
         self.update(
             spec.job_id,
             ConfigLevel.PROVISIONER,
@@ -82,6 +101,12 @@ class JobService:
         conflict the cycle re-reads and re-applies ``modify`` to the fresh
         config, so concurrent writers to the same level serialize cleanly.
         Returns the config that was committed.
+
+        Every committed write records a ``config-write`` trace event,
+        parented onto whatever decision caused it (the writer publishes
+        its event in the write-origin slot beforehand), and publishes that
+        event for the State Syncer — so the sync round that realizes the
+        change links back to the decision that requested it.
         """
         last_conflict: Optional[VersionConflictError] = None
         for __ in range(max_retries):
@@ -94,9 +119,11 @@ class JobService:
             # Thrift-equivalent type checking at the write boundary.
             validate_typed(new_config)
             try:
-                self._store.write_expected(
+                version = self._store.write_expected(
                     job_id, level, new_config, current.version
                 )
+                if self._tracer.enabled:
+                    self._trace_write(job_id, level, new_config, version)
                 return new_config
             except VersionConflictError as conflict:
                 last_conflict = conflict
@@ -104,6 +131,17 @@ class JobService:
             f"update of {job_id}/{level.name} failed after {max_retries} "
             f"retries: {last_conflict}"
         )
+
+    def _trace_write(
+        self, job_id: JobId, level: ConfigLevel, config: Config, version: int
+    ) -> None:
+        parent = self._tracer.claim_context(job_id, SLOT_WRITE_ORIGIN)
+        event = self._tracer.record(
+            "job-store", "config-write", job_id=job_id, parent=parent,
+            level=level.name, version=version,
+            keys=sorted(config),
+        )
+        self._tracer.set_context(job_id, SLOT_CONFIG, event)
 
     def patch(
         self, job_id: JobId, level: ConfigLevel, changes: Config

@@ -25,12 +25,22 @@ ACIDF properties and where they live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from repro.errors import SyncError
 from repro.jobs.configs import config_diff
 from repro.jobs.plan import ExecutionPlan, TaskActuator, build_plan
 from repro.jobs.store import JobStore
+from repro.obs.bounded import BoundedList
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import (
+    NULL_TRACER,
+    SLOT_CONFIG,
+    SLOT_SYNC,
+    TraceEvent,
+    Tracer,
+)
 from repro.sim.engine import Engine, Timer
 from repro.types import JobId, JobState, Seconds
 
@@ -41,6 +51,10 @@ SYNC_INTERVAL: Seconds = 30.0
 #: multiple times, the State Syncer quarantines the job and creates an
 #: alert for the oncall to investigate").
 DEFAULT_QUARANTINE_AFTER = 3
+
+#: Retained :class:`SyncReport` history (a week of 30-second rounds); the
+#: syncer runs forever in soak tests, so the audit trail must be bounded.
+DEFAULT_ROUND_RETENTION = 20_160
 
 
 @dataclass
@@ -68,15 +82,20 @@ class StateSyncer:
         engine: Optional[Engine] = None,
         interval: Seconds = SYNC_INTERVAL,
         quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
+        round_retention: int = DEFAULT_ROUND_RETENTION,
     ) -> None:
         self._store = store
         self._actuator = actuator
         self._engine = engine
         self._interval = interval
         self._quarantine_after = quarantine_after
+        self._tracer = tracer or NULL_TRACER
+        self._telemetry = telemetry or NULL_TELEMETRY
         self._failure_counts: Dict[JobId, int] = {}
         self._timer: Optional[Timer] = None
-        self.rounds: List[SyncReport] = []
+        self.rounds: List[SyncReport] = BoundedList(maxlen=round_retention)
         #: Oncall alerts raised on quarantine, as ``(time, job_id, reason)``.
         self.alerts: List[tuple] = []
         #: Callbacks invoked with (job_id, reason) when a job is quarantined.
@@ -116,6 +135,7 @@ class StateSyncer:
         "batches the simple synchronizations and parallelize[s] the complex
         ones".
         """
+        started_wall = perf_counter() if self._telemetry.enabled else 0.0
         report = SyncReport(time=self.now)
         simple_plans: List[ExecutionPlan] = []
         complex_plans: List[ExecutionPlan] = []
@@ -132,12 +152,37 @@ class StateSyncer:
             else:
                 simple_plans.append(plan)
 
+        # A round trace event only when the round does work: an idle
+        # 30-second tick would otherwise bloat every trace export.
+        round_event: Optional[TraceEvent] = None
+        if simple_plans or complex_plans:
+            round_event = self._tracer.record(
+                "state-syncer", "sync-round",
+                simple=len(simple_plans), complex=len(complex_plans),
+            )
         for plan in simple_plans:
-            self._run_plan(plan, report)
+            self._run_plan(plan, report, round_event)
         for plan in complex_plans:
-            self._run_plan(plan, report)
+            self._run_plan(plan, report, round_event)
 
         self.rounds.append(report)
+        if self._telemetry.enabled:
+            self._telemetry.inc("syncer.rounds")
+            if simple_plans or complex_plans:
+                self._telemetry.observe(
+                    "syncer.batch.simple", float(len(simple_plans))
+                )
+                self._telemetry.observe(
+                    "syncer.batch.complex", float(len(complex_plans))
+                )
+            if report.failed:
+                self._telemetry.inc(
+                    "syncer.plan_failures", float(len(report.failed))
+                )
+            self._telemetry.observe(
+                "syncer.round_wall_ms",
+                (perf_counter() - started_wall) * 1000.0,
+            )
         return report
 
     def _collect_deleted_jobs(self, report: SyncReport) -> None:
@@ -179,8 +224,25 @@ class StateSyncer:
             diff = {"task_count": expected.get("task_count", 1)}
         return build_plan(job_id, running, expected, diff)
 
-    def _run_plan(self, plan: ExecutionPlan, report: SyncReport) -> None:
+    def _run_plan(
+        self,
+        plan: ExecutionPlan,
+        report: SyncReport,
+        round_event: Optional[TraceEvent] = None,
+    ) -> None:
         job_id = plan.job_id
+        # Link the plan to the config write that created the divergence
+        # (claimed exactly once); a re-sync of the same divergence falls
+        # back to the round event.
+        parent = self._tracer.claim_context(job_id, SLOT_CONFIG) or round_event
+        plan_event = self._tracer.record(
+            "state-syncer", "sync-plan", job_id=job_id, parent=parent,
+            complex=plan.complex,
+            actions=[action.name for action in plan.actions],
+        )
+        # Published (not claimed) so every task-spec change and task start
+        # the plan causes can link back to it while the plan is current.
+        self._tracer.set_context(job_id, SLOT_SYNC, plan_event)
         try:
             plan.execute(self._actuator)
         except Exception as exc:  # noqa: BLE001 — any actuator failure aborts
@@ -188,7 +250,11 @@ class StateSyncer:
             # (e.g. stopped tasks): mark the job so a later round resyncs
             # even if the expected config is reverted in the meantime.
             self._store.mark_dirty(job_id)
-            self._record_failure(job_id, str(exc), report)
+            self._tracer.record(
+                "state-syncer", "sync-fail", job_id=job_id,
+                parent=plan_event, error=str(exc),
+            )
+            self._record_failure(job_id, str(exc), report, plan_event)
             return
         # Atomic commit: only reached when every action succeeded.
         self._store.commit_running(job_id, plan.target_config)
@@ -199,7 +265,11 @@ class StateSyncer:
             report.simple_synced.append(job_id)
 
     def _record_failure(
-        self, job_id: JobId, reason: str, report: SyncReport
+        self,
+        job_id: JobId,
+        reason: str,
+        report: SyncReport,
+        plan_event: Optional[TraceEvent] = None,
     ) -> None:
         count = self._failure_counts.get(job_id, 0) + 1
         self._failure_counts[job_id] = count
@@ -208,6 +278,11 @@ class StateSyncer:
             self._store.set_state(job_id, JobState.QUARANTINED)
             report.quarantined.append(job_id)
             self.alerts.append((self.now, job_id, reason))
+            self._tracer.record(
+                "state-syncer", "job-quarantined", job_id=job_id,
+                parent=plan_event, reason=reason, failures=count,
+            )
+            self._telemetry.inc("syncer.quarantines")
             for callback in self.on_quarantine:
                 callback(job_id, reason)
 

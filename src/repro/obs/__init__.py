@@ -1,0 +1,36 @@
+"""Control-plane observability: causal decision traces and telemetry.
+
+The paper's operability story (section VII) rests on "tools that drill
+down into the root cause of the problem". The data-plane side of that is
+``repro.metrics`` (simulated job metrics) and ``repro.ops`` (health
+percentages, incident timeline). This package adds the *control-plane*
+side:
+
+* :mod:`repro.obs.trace` — causal decision traces. A :class:`Tracer`
+  mints deterministic trace/span ids and is threaded through the layers,
+  so the chain detector symptom → scaler plan → Job Store write → State
+  Syncer round → shard movement can be reconstructed for any job.
+* :mod:`repro.obs.telemetry` — counters/gauges/histograms for the control
+  plane itself (timer firings, callback wall-clock cost, sync-round batch
+  sizes, balancer round cost, event-queue depth), kept separate from the
+  simulated data-plane metric store.
+
+Both are zero-cost when disabled and record passively: no RNG draws, no
+extra simulation events, so enabling them never perturbs an experiment.
+"""
+
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    EngineInstrumentation,
+    Telemetry,
+)
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+
+__all__ = [
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "EngineInstrumentation",
+]

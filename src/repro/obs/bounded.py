@@ -1,0 +1,48 @@
+"""A list with bounded retention, for in-memory audit trails.
+
+The platform keeps append-only records of what happened — health reports,
+oncall alerts, failover events, capacity actions, sync-round reports. A
+simulation that runs for months of simulated time would grow those without
+limit, so each is bounded: when the list exceeds its cap the oldest chunk
+is evicted. Eviction happens in chunks (10 % of the cap) so the O(n)
+front-removal cost of a Python list amortizes to O(1) per append.
+
+This is a real ``list`` subclass (not a deque) so existing consumers —
+equality against plain lists, slicing, ``[-1]`` — keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedList(list):
+    """A ``list`` that evicts its oldest entries beyond ``maxlen``."""
+
+    def __init__(
+        self, iterable: Iterable = (), maxlen: Optional[int] = None
+    ) -> None:
+        if maxlen is not None and maxlen <= 0:
+            raise ValueError(f"maxlen must be positive: {maxlen}")
+        super().__init__(iterable)
+        self.maxlen = maxlen
+        self._trim(exact=True)
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._trim()
+
+    def extend(self, iterable) -> None:
+        super().extend(iterable)
+        self._trim()
+
+    def _trim(self, exact: bool = False) -> None:
+        if self.maxlen is None or len(self) <= self.maxlen:
+            return
+        # Evict down past the cap by a chunk, so eviction is amortized;
+        # ``exact`` trims to exactly the cap (used at construction).
+        slack = 0 if exact else max(1, self.maxlen // 10)
+        target = max(0, self.maxlen - slack)
+        del self[: len(self) - target]

@@ -9,8 +9,10 @@ runbook, dashboards, and tools that drill down into the root cause".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
+
+from repro.obs.bounded import BoundedList
 
 from repro.analysis.report import Table
 from repro.jobs.service import JobService
@@ -19,6 +21,10 @@ from repro.sim.engine import Engine, Timer
 from repro.tasks.service import TaskService
 from repro.tasks.shard_manager import ShardManager
 from repro.types import JobState, Seconds, TaskState
+
+#: Retained reports/alerts. At the default 5-minute cadence this is a
+#: month of history — plenty for timelines, bounded for endless soaks.
+DEFAULT_REPORT_RETENTION = 8_640
 
 
 @dataclass
@@ -99,6 +105,7 @@ class HealthReporter:
         metrics: MetricStore,
         thresholds: Optional[HealthThresholds] = None,
         interval: Seconds = 300.0,
+        retention: int = DEFAULT_REPORT_RETENTION,
     ) -> None:
         self._engine = engine
         self._service = job_service
@@ -107,8 +114,8 @@ class HealthReporter:
         self._metrics = metrics
         self.thresholds = thresholds or HealthThresholds()
         self._interval = interval
-        self.reports: List[HealthReport] = []
-        self.alerts: List[Alert] = []
+        self.reports: List[HealthReport] = BoundedList(maxlen=retention)
+        self.alerts: List[Alert] = BoundedList(maxlen=retention)
         self._timer: Optional[Timer] = None
 
     def start(self) -> None:

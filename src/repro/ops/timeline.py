@@ -11,10 +11,15 @@ section VII "tools that drill down into the root cause of the problem").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.analysis.report import Table
 from repro.types import Seconds
+
+#: Trace kinds the dedicated collectors already cover; the trace collector
+#: skips them so the timeline never shows the same decision twice.
+_TRACE_KINDS_COVERED = ("job-quarantined", "failover")
+_TRACE_SOURCES_COVERED = ("auto-scaler", "reactive-scaler")
 
 
 @dataclass(frozen=True)
@@ -40,8 +45,15 @@ class IncidentTimeline:
         self,
         since: Seconds = 0.0,
         until: Optional[Seconds] = None,
+        sources: Optional[Iterable[str]] = None,
+        kinds: Optional[Iterable[str]] = None,
     ) -> List[TimelineEvent]:
-        """Every known event in ``[since, until]``, time-ordered."""
+        """Every known event in ``[since, until]``, time-ordered.
+
+        ``sources`` keeps only events whose source matches exactly;
+        ``kinds`` keeps events whose kind contains any given substring
+        (so ``kinds=["action"]`` matches every scaler action).
+        """
         if until is None:
             until = self._platform.now
         collected: List[TimelineEvent] = []
@@ -51,15 +63,30 @@ class IncidentTimeline:
         collected.extend(self._capacity_events())
         collected.extend(self._failure_events())
         collected.extend(self._health_events())
+        collected.extend(self._trace_events())
+        source_set = set(sources) if sources else None
+        kind_list = list(kinds) if kinds else None
         return sorted(
-            (event for event in collected if since <= event.time <= until),
+            (
+                event for event in collected
+                if since <= event.time <= until
+                and (source_set is None or event.source in source_set)
+                and (kind_list is None
+                     or any(k in event.kind for k in kind_list))
+            ),
             key=lambda event: (event.time, event.source, event.detail),
         )
 
-    def render(self, since: Seconds = 0.0, until: Optional[Seconds] = None) -> str:
+    def render(
+        self,
+        since: Seconds = 0.0,
+        until: Optional[Seconds] = None,
+        sources: Optional[Iterable[str]] = None,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> str:
         """A fixed-width text timeline."""
         table = Table(["t (s)", "source", "kind", "detail"])
-        for event in self.events(since, until):
+        for event in self.events(since, until, sources, kinds):
             table.add_row(
                 f"{event.time:.1f}", event.source, event.kind, event.detail
             )
@@ -136,3 +163,21 @@ class IncidentTimeline:
                           f"{alert.what} (runbook: {alert.runbook})")
             for alert in health.alerts
         ]
+
+    def _trace_events(self) -> List[TimelineEvent]:
+        """Causal trace events, minus what other collectors already show."""
+        tracer = getattr(self._platform, "tracer", None)
+        if tracer is None or not getattr(tracer, "enabled", False):
+            return []
+        events = []
+        for event in tracer.events:
+            if event.source in _TRACE_SOURCES_COVERED:
+                continue  # scaler actions come from the scaler collector
+            if event.kind in _TRACE_KINDS_COVERED:
+                continue  # quarantines/failovers have dedicated collectors
+            job = f"{event.job_id} " if event.job_id else ""
+            events.append(
+                TimelineEvent(event.time, event.source, event.kind,
+                              f"{job}{event.detail_str()}".strip())
+            )
+        return events

@@ -33,6 +33,8 @@ from repro.jobs.service import JobService
 from repro.jobs.store import JobStore
 from repro.jobs.syncer import SYNC_INTERVAL, StateSyncer
 from repro.metrics.store import MetricStore
+from repro.obs.telemetry import EngineInstrumentation, Telemetry
+from repro.obs.trace import Tracer
 from repro.scribe.bus import ScribeBus
 from repro.sim.engine import Engine
 from repro.tasks.actuator import TurbineActuator
@@ -95,9 +97,13 @@ class Turbine:
         self.metrics = MetricStore()
         self.failures = FailureInjector(engine, cluster)
 
+        # --- Observability (off by default; see enable_tracing) -------
+        self.tracer = Tracer(clock=lambda: engine.now)
+        self.telemetry = Telemetry(enabled=False)
+
         # --- Job Management -------------------------------------------
         self.job_store = JobStore()
-        self.job_service = JobService(self.job_store)
+        self.job_service = JobService(self.job_store, tracer=self.tracer)
 
         # --- Task Management ------------------------------------------
         self.task_service = TaskService(engine, cache_ttl=self.config.cache_ttl)
@@ -106,13 +112,17 @@ class Turbine:
             num_shards=self.config.num_shards,
             failover_interval=self.config.failover_interval,
             rebalance_interval=self.config.rebalance_interval,
+            tracer=self.tracer,
+            telemetry=self.telemetry,
         )
         self.actuator = TurbineActuator(
-            self.task_service, self.shard_manager, self.scribe
+            self.task_service, self.shard_manager, self.scribe,
+            tracer=self.tracer,
         )
         self.syncer = StateSyncer(
             self.job_store, self.actuator, engine=engine,
             interval=self.config.sync_interval,
+            tracer=self.tracer, telemetry=self.telemetry,
         )
         self.task_managers: Dict[str, TaskManager] = {}
         self.stats = JobStatsCollector(
@@ -146,7 +156,7 @@ class Turbine:
             )
         self.scaler = AutoScaler(
             self.engine, self.job_service, self.metrics, self.scribe,
-            config=scaler_config,
+            config=scaler_config, tracer=self.tracer,
         )
         if self._started:
             self.scaler.start()
@@ -232,6 +242,7 @@ class Turbine:
             step_interval=self.config.step_interval,
             load_report_interval=self.config.load_report_interval,
             record_task_metrics=self.config.record_task_metrics,
+            tracer=self.tracer,
         )
         self.task_managers[container.container_id] = manager
         manager.start()
@@ -316,6 +327,25 @@ class Turbine:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def enable_tracing(self) -> Tracer:
+        """Turn on causal decision traces across every layer.
+
+        The tracer is threaded through all services at construction, so
+        this only flips the enabled bit — recording starts immediately and
+        the simulation itself is unaffected (tracing draws no randomness
+        and schedules no events).
+        """
+        self.tracer.enable()
+        return self.tracer
+
+    def enable_instrumentation(self) -> Telemetry:
+        """Turn on control-plane telemetry, including the per-event
+        engine hook (timer firing stats and callback wall-clock cost)."""
+        self.telemetry.enabled = True
+        if self.engine.instrumentation is None:
+            self.engine.instrumentation = EngineInstrumentation(self.telemetry)
+        return self.telemetry
+
     def running_tasks(self) -> List[str]:
         """Every task currently running, across all live managers."""
         return sorted(

@@ -14,8 +14,10 @@ section V-F).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
+
+from repro.obs.bounded import BoundedList
 
 from repro.cluster.tupperware import TupperwareCluster
 from repro.jobs.model import KEY_PRIORITY
@@ -40,6 +42,9 @@ class CapacityConfig:
     instability_threshold: float = 0.95
     #: Priority floor imposed under pressure.
     pressure_floor: Priority = Priority.HIGH
+    #: Retained :class:`CapacityEvent` audit records (bounded so endless
+    #: pressure flapping in soak tests cannot grow memory without limit).
+    event_retention: int = 10_000
 
 
 @dataclass
@@ -69,7 +74,9 @@ class CapacityManager:
         self._scaler = scaler
         self._actuator = actuator
         self.config = config or CapacityConfig()
-        self.events: List[CapacityEvent] = []
+        self.events: List[CapacityEvent] = BoundedList(
+            maxlen=self.config.event_retention
+        )
         self.stopped_jobs: List[str] = []
         self._pressure = False
         self._timer: Optional[Timer] = None

@@ -10,7 +10,9 @@ the proactive generation — what changed is what happens *after* detection.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.obs.trace import NULL_TRACER, SLOT_SYMPTOM, Tracer
 from repro.scaler.snapshot import JobSnapshot
 
 #: Relative spread of per-task processing rates above which the input is
@@ -34,18 +36,39 @@ class JobSymptoms:
 class SymptomDetector:
     """Turns a job snapshot into symptoms."""
 
-    def __init__(self, imbalance_threshold: float = IMBALANCE_THRESHOLD) -> None:
+    def __init__(
+        self,
+        imbalance_threshold: float = IMBALANCE_THRESHOLD,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
         if imbalance_threshold <= 0:
             raise ValueError("imbalance threshold must be positive")
         self._imbalance_threshold = imbalance_threshold
+        self._tracer = tracer or NULL_TRACER
 
     def detect(self, snapshot: JobSnapshot) -> JobSymptoms:
-        """Evaluate lag (equation 1 vs SLO), imbalance, and OOM."""
-        return JobSymptoms(
+        """Evaluate lag (equation 1 vs SLO), imbalance, and OOM.
+
+        An unhealthy verdict roots a new causal trace: the symptom event
+        is published for the scaler so whatever action it takes links back
+        here (the start of the "why" chain for the resulting change).
+        """
+        symptoms = JobSymptoms(
             lagging=snapshot.lagging,
             imbalanced=self._is_imbalanced(snapshot),
             oom=snapshot.oom_recently,
         )
+        if self._tracer.enabled and not symptoms.healthy:
+            event = self._tracer.record(
+                "detector", "symptom", job_id=snapshot.job_id,
+                lagging=symptoms.lagging,
+                imbalanced=symptoms.imbalanced,
+                oom=symptoms.oom,
+                time_lagged=round(snapshot.time_lagged, 3),
+                slo=snapshot.slo_lag_seconds,
+            )
+            self._tracer.set_context(snapshot.job_id, SLOT_SYMPTOM, event)
+        return symptoms
 
     def _is_imbalanced(self, snapshot: JobSnapshot) -> bool:
         """"Imbalanced input is measured by the standard deviation of

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cluster.resources import ResourceVector
+from repro.obs.trace import TraceEvent
 from repro.scaler.detectors import JobSymptoms
 from repro.scaler.estimators import ResourceEstimate
 from repro.scaler.patterns import PatternAnalyzer
@@ -55,6 +56,8 @@ class ScalingDecision:
     threads: Optional[int] = None
     memory_per_task_gb: Optional[float] = None
     cpu_per_task: Optional[float] = None
+    #: Causal origin (the detector symptom event) when tracing is on.
+    trace: Optional[TraceEvent] = None
 
     @property
     def changes_config(self) -> bool:
@@ -102,13 +105,30 @@ class PlanGenerator:
         estimate: ResourceEstimate,
         quiet_long_enough: bool,
         priority_floor: Priority = Priority.LOW,
+        trace: Optional[TraceEvent] = None,
     ) -> ScalingDecision:
         """One decision for one job.
 
         ``quiet_long_enough`` is the caller's verdict on "no OOM, no lag
         ... detected in a day" (Algorithm 2 line 10); the generator does
-        not read raw history itself.
+        not read raw history itself. ``trace`` is the symptom event that
+        prompted this evaluation (if any); it is propagated onto the
+        decision so applying it links the action back to its cause.
         """
+        decision = self._decide(
+            snapshot, symptoms, estimate, quiet_long_enough, priority_floor
+        )
+        decision.trace = trace
+        return decision
+
+    def _decide(
+        self,
+        snapshot: JobSnapshot,
+        symptoms: JobSymptoms,
+        estimate: ResourceEstimate,
+        quiet_long_enough: bool,
+        priority_floor: Priority,
+    ) -> ScalingDecision:
         if symptoms.lagging:
             return self._handle_lag(snapshot, symptoms, estimate, priority_floor)
         if symptoms.oom:

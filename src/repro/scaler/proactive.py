@@ -18,6 +18,12 @@ from repro.cluster.resources import ResourceVector
 from repro.jobs.configs import ConfigLevel
 from repro.jobs.service import JobService
 from repro.metrics.store import MetricStore
+from repro.obs.trace import (
+    NULL_TRACER,
+    SLOT_SYMPTOM,
+    SLOT_WRITE_ORIGIN,
+    Tracer,
+)
 from repro.scaler.detectors import SymptomDetector
 from repro.scaler.estimators import ResourceEstimator
 from repro.scaler.patterns import PatternAnalyzer
@@ -63,6 +69,8 @@ class AppliedAction:
     reason: str
     task_count: Optional[int] = None
     threads: Optional[int] = None
+    #: Trace id of the causal chain that produced this action (if traced).
+    trace_id: Optional[str] = None
 
 
 class AutoScaler:
@@ -75,13 +83,15 @@ class AutoScaler:
         metrics: MetricStore,
         scribe: ScribeBus,
         config: Optional[AutoScalerConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._engine = engine
         self._service = job_service
         self._metrics = metrics
         self._scribe = scribe
         self.config = config or AutoScalerConfig()
-        self.detector = SymptomDetector()
+        self._tracer = tracer or NULL_TRACER
+        self.detector = SymptomDetector(tracer=self._tracer)
         self.estimator = ResourceEstimator()
         self.analyzer = PatternAnalyzer(
             metrics,
@@ -161,6 +171,9 @@ class AutoScaler:
             estimate,
             quiet_long_enough=self._quiet_long_enough(snapshot),
             priority_floor=self.priority_floor,
+            # Claim (consume) the symptom event so it parents exactly the
+            # decision it triggered and never a later unrelated one.
+            trace=self._tracer.claim_context(job_id, SLOT_SYMPTOM),
         )
         self._apply(snapshot, decision)
         return decision
@@ -197,6 +210,15 @@ class AutoScaler:
         )
         if decision.action == Action.NONE:
             return
+        event = self._tracer.record(
+            "auto-scaler", f"action-{decision.action.value}",
+            job_id=snapshot.job_id, parent=decision.trace,
+            reason=decision.reason,
+            task_count=decision.task_count,
+            threads=decision.threads,
+        )
+        if event is not None:
+            record.trace_id = event.trace_id
         if decision.action == Action.UNTRIAGED:
             # "When Turbine cannot determine the cause of an untriaged
             # problem, it fires operator alerts."
@@ -220,6 +242,9 @@ class AutoScaler:
             resources["cpu"] = round(decision.cpu_per_task, 3)
         if resources:
             patch["resources"] = resources
+        # The scaler's action is the cause of the Job Store write it is
+        # about to make; the Job Service links the write underneath it.
+        self._tracer.set_context(snapshot.job_id, SLOT_WRITE_ORIGIN, event)
         self._service.patch(snapshot.job_id, ConfigLevel.SCALER, patch)
         self.actions.append(record)
 

@@ -29,9 +29,9 @@ class Timer:
     """A periodic timer managed by the engine.
 
     The timer re-schedules itself after each firing. ``cancel()`` stops it
-    permanently; ``pause()`` / ``resume()`` toggle it. A paused timer keeps
-    its phase: resuming schedules the next firing one full interval from the
-    resume time.
+    permanently; ``pause()`` / ``resume()`` toggle it. A paused timer does
+    *not* keep its phase: resuming schedules the next firing one full
+    interval from the resume time.
     """
 
     def __init__(
@@ -72,7 +72,8 @@ class Timer:
             self._event = None
 
     def resume(self) -> None:
-        """Re-arm a paused timer one interval from now."""
+        """Re-arm a paused timer one full interval from now (the paused
+        phase is discarded, per the class docstring)."""
         if self._cancelled:
             raise SimulationError(f"cannot resume cancelled timer {self.name!r}")
         if not self._paused:
@@ -80,11 +81,15 @@ class Timer:
         self._paused = False
         self._arm()
 
-    def _arm(self) -> None:
+    def _arm(self, delay: Optional[Seconds] = None) -> None:
+        """Schedule the next firing ``delay`` seconds from now (defaults
+        to one interval). No-op while cancelled or paused, so every arming
+        path — including the very first one — honours both states."""
         if self._cancelled or self._paused:
             return
         self._event = self._engine.queue.push(
-            self._engine.now + self.interval, self._fire
+            self._engine.now + (self.interval if delay is None else delay),
+            self._fire,
         )
 
     def _fire(self) -> None:
@@ -104,11 +109,20 @@ class Timer:
 class Engine:
     """Deterministic discrete-event simulation engine."""
 
-    def __init__(self, seed: int = 0, start: Seconds = 0.0) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        start: Seconds = 0.0,
+        instrumentation: Optional[Any] = None,
+    ) -> None:
         self.clock = SimClock(start)
         self.queue = EventQueue()
         self.rng = SeededRng(seed)
         self._running = False
+        #: Optional per-event hook (duck-typed ``record_event(engine, cb)``;
+        #: see :class:`repro.obs.telemetry.EngineInstrumentation`). ``None``
+        #: keeps dispatch on the zero-overhead path.
+        self.instrumentation = instrumentation
 
     @property
     def now(self) -> Seconds:
@@ -148,12 +162,19 @@ class Engine:
         first = interval if initial_delay is None else initial_delay
         if first < 0:
             raise SimulationError(f"initial delay must be non-negative: {first}")
-        timer._event = self.queue.push(self.now + first, timer._fire)
+        timer._arm(first)
         return timer
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _dispatch(self, callback: Callable[[], Any]) -> None:
+        """Deliver one callback, through the instrumentation hook if set."""
+        if self.instrumentation is None:
+            callback()
+        else:
+            self.instrumentation.record_event(self, callback)
+
     def step(self) -> bool:
         """Deliver the next event. Returns False when the queue is empty."""
         next_time = self.queue.peek_time()
@@ -161,7 +182,7 @@ class Engine:
             return False
         time, callback = self.queue.pop()
         self.clock.advance_to(time)
-        callback()
+        self._dispatch(callback)
         return True
 
     def run_until(self, deadline: Seconds) -> None:
@@ -184,7 +205,7 @@ class Engine:
                     break
                 time, callback = self.queue.pop()
                 self.clock.advance_to(time)
-                callback()
+                self._dispatch(callback)
         finally:
             self._running = False
         self.clock.advance_to(deadline)

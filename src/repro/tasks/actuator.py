@@ -8,9 +8,12 @@ containers. Every method is idempotent, as the plan contract requires.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import SyncError
 from repro.jobs.configs import Config
 from repro.jobs.plan import TaskActuator
+from repro.obs.trace import NULL_TRACER, SLOT_SYNC, Tracer
 from repro.scribe.bus import ScribeBus
 from repro.tasks.service import TaskService
 from repro.tasks.shard_manager import ShardManager
@@ -25,10 +28,12 @@ class TurbineActuator(TaskActuator):
         task_service: TaskService,
         shard_manager: ShardManager,
         scribe: ScribeBus,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self._service = task_service
         self._shard_manager = shard_manager
         self._scribe = scribe
+        self._tracer = tracer or NULL_TRACER
 
     def known_job_ids(self):
         """Jobs with live task specs (used by the syncer's GC sweep)."""
@@ -45,6 +50,11 @@ class TurbineActuator(TaskActuator):
         setting will eventually propagate to the impacted tasks").
         """
         self._service.set_job_specs(job_id, config)
+        self._tracer.record(
+            "task-service", "specs-updated", job_id=job_id,
+            parent=self._tracer.peek_context(job_id, SLOT_SYNC),
+            task_count=int(config.get("task_count", 1)),
+        )
 
     # ------------------------------------------------------------------
     # Complex synchronization phases
@@ -56,8 +66,14 @@ class TurbineActuator(TaskActuator):
         task from a snapshot refresh while the plan is in flight.
         """
         self._service.remove_job(job_id)
+        stopped = 0
         for manager in self._shard_manager.live_managers():
-            manager.stop_job_tasks(job_id)
+            stopped += manager.stop_job_tasks(job_id)
+        self._tracer.record(
+            "task-service", "tasks-stopped", job_id=job_id,
+            parent=self._tracer.peek_context(job_id, SLOT_SYNC),
+            stopped=stopped,
+        )
 
     def redistribute_checkpoints(
         self, job_id: JobId, old_task_count: int, new_task_count: int
@@ -98,3 +114,8 @@ class TurbineActuator(TaskActuator):
         # Urgent: the job's tasks are currently stopped (phase 1); waiting
         # for the cache TTL would leave them down for another 90 seconds.
         self._service.set_job_specs(job_id, config, urgent=True)
+        self._tracer.record(
+            "task-service", "specs-published", job_id=job_id,
+            parent=self._tracer.peek_context(job_id, SLOT_SYNC),
+            task_count=task_count,
+        )

@@ -24,6 +24,7 @@ from repro.cluster.container import TurbineContainer
 from repro.cluster.resources import ResourceVector
 from repro.errors import DegradedModeError
 from repro.metrics.store import MetricStore
+from repro.obs.trace import NULL_TRACER, SLOT_SYNC, Tracer
 from repro.scribe.bus import ScribeBus
 from repro.sim.engine import Engine, Timer
 from repro.tasks.runtime import RunningTask
@@ -68,7 +69,9 @@ class TaskManager:
         step_interval: Seconds = STEP_INTERVAL,
         load_report_interval: Seconds = LOAD_REPORT_INTERVAL,
         record_task_metrics: bool = False,
+        tracer: Optional[Tracer] = None,
     ) -> None:
+        self._tracer = tracer or NULL_TRACER
         self._engine = engine
         self.container = container
         self._service = task_service
@@ -220,6 +223,18 @@ class TaskManager:
         self.tasks[spec.task_id] = task
         self._task_shard[spec.task_id] = shard_id
         self.container.reserve(spec.task_id, spec.resources)
+        if self._tracer.enabled:
+            # Cause: an in-flight shard movement if one brought this task
+            # here, otherwise the sync plan that (re)published the spec.
+            parent = (
+                self._tracer.peek_shard_context(shard_id)
+                or self._tracer.peek_context(spec.job_id, SLOT_SYNC)
+            )
+            self._tracer.record(
+                "task-manager", "task-start", job_id=spec.job_id,
+                parent=parent, task=spec.task_id, shard=shard_id,
+                container=self.container_id,
+            )
 
     def _stop_task(self, task_id: TaskId) -> None:
         task = self.tasks.pop(task_id, None)

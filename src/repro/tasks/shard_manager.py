@@ -20,10 +20,14 @@ covers the three roles the paper describes:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cluster.resources import ResourceVector
 from repro.errors import DegradedModeError, PlacementError
+from repro.obs.bounded import BoundedList
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.sim.engine import Engine, Timer
 from repro.tasks.balancer import DEFAULT_BAND, compute_assignment
 from repro.tasks.shard import all_shard_ids
@@ -46,6 +50,11 @@ REBALANCE_INTERVAL: Seconds = 1800.0
 #: a value); tiny but non-zero so empty shards spread out.
 DEFAULT_SHARD_LOAD = ResourceVector(cpu=0.01, memory_gb=0.05)
 
+#: Retained :class:`FailoverEvent` history. Health reports only look one
+#: hour back and long soaks fail containers constantly, so the audit list
+#: must be bounded.
+DEFAULT_FAILOVER_RETENTION = 10_000
+
 
 @dataclass
 class FailoverEvent:
@@ -66,6 +75,9 @@ class ShardManager:
         failover_interval: Seconds = FAILOVER_INTERVAL,
         rebalance_interval: Seconds = REBALANCE_INTERVAL,
         band: float = DEFAULT_BAND,
+        tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
+        failover_retention: int = DEFAULT_FAILOVER_RETENTION,
     ) -> None:
         if num_shards <= 0:
             raise PlacementError(f"num_shards must be positive: {num_shards}")
@@ -83,7 +95,11 @@ class ShardManager:
         self.shard_regions: Dict[ShardId, str] = {}
         self._managers: Dict[ContainerId, "TaskManager"] = {}
         self._heartbeats: Dict[ContainerId, Seconds] = {}
-        self.failover_events: List[FailoverEvent] = []
+        self._tracer = tracer or NULL_TRACER
+        self._telemetry = telemetry or NULL_TELEMETRY
+        self.failover_events: List[FailoverEvent] = BoundedList(
+            maxlen=failover_retention
+        )
         self.rebalance_count = 0
         #: When False the Shard Manager is down: no placement changes, no
         #: failovers; Task Managers keep their shards (degraded mode).
@@ -201,6 +217,7 @@ class ShardManager:
             for shard_id, owner in self.assignment.items()
             if owner in live
         }
+        started_wall = perf_counter() if self._telemetry.enabled else 0.0
         change = compute_assignment(
             loads, capacities, current=current, band=self.band,
             container_regions={
@@ -208,18 +225,45 @@ class ShardManager:
             },
             shard_regions=self.shard_regions,
         )
+        if self._telemetry.enabled:
+            self._telemetry.inc("balancer.rounds")
+            self._telemetry.observe(
+                "balancer.wall_ms", (perf_counter() - started_wall) * 1000.0
+            )
+            self._telemetry.observe("balancer.moves", float(len(change.moves)))
         self.rebalance_count += 1
+        round_event: Optional[TraceEvent] = None
+        if change.moves:
+            round_event = self._tracer.record(
+                "shard-manager",
+                "initial-placement" if initial else "rebalance",
+                moves=len(change.moves),
+            )
         for shard_id, source, destination in change.moves:
-            self._move_shard(shard_id, source, destination)
+            self._move_shard(shard_id, source, destination, parent=round_event)
 
     def _move_shard(
         self,
         shard_id: ShardId,
         source: Optional[ContainerId],
         destination: ContainerId,
+        parent: Optional[TraceEvent] = None,
+        jobs: Optional[List[str]] = None,
     ) -> None:
         """The DROP_SHARD → update map → ADD_SHARD protocol (section IV-A2)."""
         source_manager = self._managers.get(source) if source else None
+        move_event: Optional[TraceEvent] = None
+        if self._tracer.enabled:
+            # Jobs must be collected *before* the drop empties the source.
+            if jobs is None:
+                jobs = self._jobs_on_shard(source_manager, shard_id)
+            move_event = self._tracer.record(
+                "shard-manager", "shard-move",
+                parent=parent, shard=shard_id,
+                origin=source or "", destination=destination, jobs=jobs,
+                ops=(["DROP_SHARD", "ADD_SHARD"] if source
+                     else ["ADD_SHARD"]),
+            )
         if source_manager is not None and source_manager.alive:
             try:
                 source_manager.drop_shard(shard_id)
@@ -230,11 +274,30 @@ class ShardManager:
         self.assignment[shard_id] = destination
         destination_manager = self._managers.get(destination)
         if destination_manager is not None and destination_manager.alive:
+            if move_event is not None:
+                # Tasks the ADD_SHARD starts parent onto this movement.
+                self._tracer.set_shard_context(shard_id, move_event)
             try:
                 destination_manager.add_shard(shard_id)
             except TimeoutError:
                 # "... or initiates a Turbine container fail-over process."
                 self._fail_over_container(destination)
+            finally:
+                if move_event is not None:
+                    self._tracer.clear_shard_context(shard_id)
+
+    @staticmethod
+    def _jobs_on_shard(
+        manager: Optional["TaskManager"], shard_id: ShardId
+    ) -> List[str]:
+        """Distinct job ids with tasks of the shard on the manager."""
+        if manager is None:
+            return []
+        return sorted({
+            task.spec.job_id
+            for task_id, task in manager.tasks.items()
+            if manager._task_shard.get(task_id) == shard_id
+        })
 
     # ------------------------------------------------------------------
     # Failure detection
@@ -262,9 +325,25 @@ class ShardManager:
         otherwise the fail-over itself would create duplicates.
         """
         manager = self._managers.get(container_id)
+        orphaned = self.shards_of(container_id)
+        # Per-shard job ids, captured before the reboot wipes the tasks.
+        shard_jobs: Dict[ShardId, List[str]] = {}
+        failover_event: Optional[TraceEvent] = None
+        if self._tracer.enabled:
+            shard_jobs = {
+                shard_id: self._jobs_on_shard(manager, shard_id)
+                for shard_id in orphaned
+            }
+            failover_event = self._tracer.record(
+                "shard-manager", "failover",
+                container=container_id, shards=len(orphaned),
+                jobs=sorted({
+                    job for jobs in shard_jobs.values() for job in jobs
+                }),
+            )
+        self._telemetry.inc("shard_manager.failovers")
         if manager is not None and manager.alive:
             manager.reboot()
-        orphaned = self.shards_of(container_id)
         self.unregister_container(container_id)
         live = self._live_containers()
         if not live:
@@ -302,7 +381,10 @@ class ShardManager:
         moved = 0
         for shard_id in orphaned:
             destination = placement.assignment[shard_id]
-            self._move_shard(shard_id, None, destination)
+            self._move_shard(
+                shard_id, None, destination,
+                parent=failover_event, jobs=shard_jobs.get(shard_id),
+            )
             moved += 1
         self.failover_events.append(
             FailoverEvent(self._engine.now, container_id, moved)

@@ -1,0 +1,94 @@
+"""End-to-end tracing: the acceptance criteria of the obs subsystem.
+
+* ``chain(job_id)`` for a scaled job reconstructs the full causal story:
+  detector symptom → scaler action → Job Store write → State Syncer plan →
+  task/shard effects, plus the shard movements of a failover that touched
+  the job.
+* Trace exports are byte-identical across same-seed runs.
+* Enabling the tracer changes no simulation outcome.
+"""
+
+from repro import JobSpec, PlatformConfig, Turbine
+from repro.__main__ import _incident_platform
+from repro.workloads import TrafficDriver
+
+
+def small_platform(seed=11, tracing=False):
+    platform = Turbine.create(
+        num_hosts=3, seed=seed,
+        config=PlatformConfig(num_shards=16, containers_per_host=2),
+    )
+    platform.attach_scaler()
+    platform.attach_health_reporter(interval=120.0)
+    if tracing:
+        platform.enable_tracing()
+    platform.start()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    platform.provision(
+        JobSpec(job_id="job", input_category="cat", task_count=2,
+                rate_per_thread_mb=2.0, task_count_limit=16),
+    )
+    driver.add_source("cat", lambda t: 20.0)
+    driver.start()
+    return platform
+
+
+class TestCausalChain:
+    def test_scaled_job_chain_spans_all_layers(self):
+        platform = _incident_platform(seed=0, minutes=30.0)
+        chain = platform.tracer.chain("demo/job-0")
+        pairs = {(event.source, event.kind) for event in chain}
+        assert ("detector", "symptom") in pairs
+        assert any(
+            source == "auto-scaler" and kind.startswith("action-")
+            for source, kind in pairs
+        )
+        assert ("job-store", "config-write") in pairs
+        assert ("state-syncer", "sync-plan") in pairs
+        assert ("task-manager", "task-start") in pairs
+        assert ("shard-manager", "shard-move") in pairs
+
+    def test_quarantined_job_chain_explains_why(self):
+        platform = _incident_platform(seed=0, minutes=15.0)
+        chain = platform.tracer.chain("demo/job-1")
+        kinds = {event.kind for event in chain}
+        assert "config-write" in kinds    # the poisoned oncall override
+        assert "sync-fail" in kinds       # the three failed plans
+        assert "job-quarantined" in kinds
+        quarantine = next(
+            event for event in chain if event.kind == "job-quarantined"
+        )
+        assert quarantine.parent_id is not None
+
+    def test_rendered_chain_is_printable(self):
+        platform = _incident_platform(seed=0, minutes=15.0)
+        text = platform.tracer.render_chain("demo/job-0")
+        assert "trace T" in text
+        assert "auto-scaler" in text
+
+
+class TestDeterminism:
+    def test_trace_jsonl_identical_across_same_seed_runs(self):
+        first = _incident_platform(seed=3, minutes=12.0)
+        second = _incident_platform(seed=3, minutes=12.0)
+        assert first.tracer.to_jsonl() == second.tracer.to_jsonl()
+        assert len(first.tracer.events) > 0
+
+    def test_different_seeds_diverge(self):
+        first = _incident_platform(seed=3, minutes=12.0)
+        second = _incident_platform(seed=4, minutes=12.0)
+        assert first.tracer.to_jsonl() != second.tracer.to_jsonl()
+
+
+class TestNoPerturbation:
+    def test_tracing_changes_no_simulation_outcome(self):
+        plain = small_platform(tracing=False)
+        traced = small_platform(tracing=True)
+        plain.run_for(minutes=20)
+        traced.run_for(minutes=20)
+        assert len(traced.tracer.events) > 0
+        assert plain.health.check_once() == traced.health.check_once()
+        assert plain.job_service.expected_config(
+            "job"
+        ) == traced.job_service.expected_config("job")
+        assert plain.running_tasks() == traced.running_tasks()

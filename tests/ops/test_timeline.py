@@ -88,3 +88,62 @@ def test_render_is_tabular():
     assert "failover" in text
     lines = text.splitlines()
     assert len(lines) >= 3
+
+
+def test_tolerates_missing_services():
+    """Collectors must not assume any optional service is attached."""
+
+    class Bare:
+        now = 123.0
+
+    assert IncidentTimeline(Bare()).events() == []
+
+
+def test_source_filter_is_exact():
+    platform = eventful_platform()
+    platform.cluster.fail_host("host-0")
+    platform.run_for(minutes=3)
+    timeline = IncidentTimeline(platform)
+    only = timeline.events(sources=["shard-manager"])
+    assert only
+    assert all(event.source == "shard-manager" for event in only)
+    assert timeline.events(sources=["shard"]) == []  # no substring match
+
+
+def test_kind_filter_is_substring():
+    platform = eventful_platform()
+    platform.failures.schedule(
+        FailurePlan("host-0", fail_at=platform.now + 60.0)
+    )
+    platform.run_for(minutes=3)
+    timeline = IncidentTimeline(platform)
+    fails = timeline.events(kinds=["fail"])
+    assert fails
+    assert all("fail" in event.kind for event in fails)
+    kinds = {event.kind for event in fails}
+    assert "host-fail" in kinds and "failover" in kinds
+
+
+def test_trace_events_merged_without_duplicates():
+    platform = eventful_platform()
+    platform.enable_tracing()
+    # Overload the job so the (traced) scaler acts.
+    for __ in range(10):
+        platform.scribe.get_category("cat").append(30.0 * 60.0)
+        platform.run_for(minutes=1)
+    timeline = IncidentTimeline(platform)
+    events = timeline.events()
+    sources = {event.source for event in events}
+    assert "job-store" in sources or "state-syncer" in sources
+    # Scaler decisions come only from the scaler collector; the trace
+    # collector must not add a second copy of each action.
+    action_events = [
+        event for event in events
+        if event.source == "auto-scaler" and event.kind != "untriaged"
+    ]
+    assert len(action_events) == len(platform.scaler.actions)
+
+
+def test_trace_collector_skips_disabled_tracer():
+    platform = eventful_platform()
+    assert IncidentTimeline(platform)._trace_events() == []

@@ -141,6 +141,30 @@ class TestTimer:
         engine.run_until(65.0)
         assert times == [10.0, 60.0]
 
+    def test_pause_before_first_fire_cancels_it(self):
+        # ``every`` arms the first firing through the same path as every
+        # later one, so pausing immediately must suppress it too.
+        engine = Engine()
+        times = []
+        timer = engine.every(10.0, lambda: times.append(engine.now))
+        timer.pause()
+        engine.run_until(50.0)
+        assert times == []
+        timer.resume()
+        engine.run_until(65.0)
+        assert times == [60.0]
+
+    def test_resume_discards_paused_phase(self):
+        engine = Engine()
+        times = []
+        timer = engine.every(10.0, lambda: times.append(engine.now))
+        engine.run_until(12.0)
+        timer.pause()
+        engine.run_until(13.0)
+        timer.resume()  # next firing one full interval from t=13
+        engine.run_until(30.0)
+        assert times == [10.0, 23.0]
+
     def test_resume_unpaused_timer_is_noop(self):
         engine = Engine()
         timer = engine.every(10.0, lambda: None)

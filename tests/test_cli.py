@@ -1,7 +1,11 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
+import repro.__main__
 from repro.__main__ import main
 
 
@@ -10,6 +14,16 @@ def test_experiments_lists_benches(capsys):
     out = capsys.readouterr().out
     assert "test_fig8_backlog_recovery.py" in out
     assert "pytest benchmarks/" in out
+
+
+def test_experiments_index_is_derived_from_benchmarks_dir(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    # Regression: the old hardcoded list omitted the stateful ablation.
+    assert "test_ablation_stateful.py" in out
+    bench_dir = Path(repro.__main__.__file__).resolve().parents[2] / "benchmarks"
+    for path in sorted(bench_dir.glob("test_*.py")):
+        assert path.name in out
 
 
 def test_growth_prints_table(capsys):
@@ -32,6 +46,80 @@ def test_demo_runs_and_reports(capsys):
     out = capsys.readouterr().out
     assert "jobs managed" in out
     assert "tasks not running" in out
+
+
+def test_demo_trace_out_writes_jsonl(capsys, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(
+        ["demo", "--minutes", "5", "--jobs", "2",
+         "--trace-out", str(trace_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert str(trace_path) in out
+    lines = trace_path.read_text().splitlines()
+    assert lines
+    first = json.loads(lines[0])
+    assert first["trace"].startswith("T")
+    assert "source" in first and "kind" in first
+
+
+def test_demo_telemetry_out_writes_jsonl(capsys, tmp_path):
+    telemetry_path = tmp_path / "telemetry.jsonl"
+    assert main(
+        ["demo", "--minutes", "5", "--jobs", "2",
+         "--telemetry-out", str(telemetry_path)]
+    ) == 0
+    lines = telemetry_path.read_text().splitlines()
+    names = {json.loads(line)["name"] for line in lines}
+    assert "syncer.rounds" in names
+    assert "engine.events" in names
+
+
+def test_timeline_command_prints_story(capsys):
+    assert main(["timeline", "--minutes", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "state-syncer" in out
+    assert "quarantine" in out
+    assert "failover" in out
+
+
+def test_timeline_filters_narrow_output(capsys):
+    assert main(
+        ["timeline", "--minutes", "25", "--source", "shard-manager",
+         "--kind", "failover"]
+    ) == 0
+    out = capsys.readouterr().out
+    body = [
+        line for line in out.splitlines()
+        if line.strip() and not line.startswith(("t (s)", "-"))
+    ]
+    assert body
+    assert all("shard-manager" in line for line in body)
+
+
+def test_trace_command_prints_causal_chain(capsys):
+    assert main(["trace", "demo/job-1", "--minutes", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "job-store" in out
+    assert "job-quarantined" in out
+
+
+def test_trace_command_reads_exported_file(capsys, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(
+        ["demo", "--minutes", "20", "--jobs", "2",
+         "--trace-out", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    assert main(["trace", "demo/job-0", "--input", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace T" in out
+
+
+def test_trace_unknown_job_reports_empty(capsys):
+    assert main(["trace", "no/such-job", "--minutes", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "no trace events" in out
 
 
 def test_missing_command_errors():
