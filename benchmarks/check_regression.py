@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare a run against BENCH_baseline.json.
+
+Raw wall-clock times are machine-dependent — a committed baseline of
+absolute numbers would fail on every hardware change. Instead the gate
+normalizes every benchmark by a *reference* benchmark measured in the
+same run (the cold 100K-shard placement, a pure CPU-bound computation),
+and compares these ratios. A ratio is stable across machines of different
+speed, but moves immediately when one code path regresses relative to the
+rest — which is exactly what the gate is for: catching the incremental
+paths silently degrading back to O(fleet) work.
+
+Usage:
+    pytest benchmarks/test_sync_speed.py benchmarks/test_incremental_sync.py \\
+        benchmarks/test_placement_speed.py --benchmark-only \\
+        --benchmark-json=bench.json
+    python benchmarks/check_regression.py bench.json            # gate
+    python benchmarks/check_regression.py bench.json --update   # re-baseline
+
+Exit status 1 when any benchmark regressed by more than its allowed
+tolerance (default +25% over the baseline ratio; micro-benchmarks whose
+absolute time is tiny carry a larger per-entry tolerance because their
+ratio is noisier — see ``tolerance`` in the baseline file).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: CPU-bound yardstick all other benchmarks are expressed in units of.
+REFERENCE = "test_place_100k_shards_under_two_seconds"
+
+#: Default allowed regression: +25% over the committed ratio.
+DEFAULT_TOLERANCE = 0.25
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+
+
+def load_ratios(results_path):
+    """Map benchmark name -> mean time normalized by the reference."""
+    data = json.loads(Path(results_path).read_text())
+    means = {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in data["benchmarks"]
+    }
+    if REFERENCE not in means:
+        sys.exit(f"reference benchmark {REFERENCE!r} missing from results")
+    reference = means[REFERENCE]
+    return {
+        name: mean / reference
+        for name, mean in means.items()
+        if name != REFERENCE
+    }
+
+
+def update_baseline(ratios, baseline_path):
+    existing = {}
+    if baseline_path.exists():
+        existing = {
+            entry["name"]: entry
+            for entry in json.loads(baseline_path.read_text())["benchmarks"]
+        }
+    benchmarks = []
+    for name in sorted(ratios):
+        entry = {"name": name, "ratio": round(ratios[name], 6)}
+        tolerance = existing.get(name, {}).get("tolerance")
+        if tolerance is not None:
+            entry["tolerance"] = tolerance
+        benchmarks.append(entry)
+    baseline_path.write_text(
+        json.dumps(
+            {"reference": REFERENCE, "benchmarks": benchmarks}, indent=2
+        )
+        + "\n"
+    )
+    print(f"baseline updated: {baseline_path} ({len(benchmarks)} entries)")
+
+
+def check(ratios, baseline_path):
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for entry in baseline["benchmarks"]:
+        name = entry["name"]
+        if name not in ratios:
+            failures.append(f"{name}: missing from this run")
+            continue
+        tolerance = entry.get("tolerance", DEFAULT_TOLERANCE)
+        allowed = entry["ratio"] * (1.0 + tolerance)
+        actual = ratios[name]
+        verdict = "ok" if actual <= allowed else "REGRESSED"
+        print(
+            f"{name}: ratio {actual:.4f} "
+            f"(baseline {entry['ratio']:.4f}, allowed <= {allowed:.4f}) "
+            f"{verdict}"
+        )
+        if actual > allowed:
+            failures.append(
+                f"{name}: ratio {actual:.4f} exceeds allowed {allowed:.4f} "
+                f"(+{(actual / entry['ratio'] - 1.0) * 100:.0f}% vs baseline)"
+            )
+    known = {entry["name"] for entry in baseline["benchmarks"]}
+    for name in sorted(set(ratios) - known):
+        print(f"{name}: not in baseline (run with --update to add)")
+    if failures:
+        print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="pytest-benchmark --benchmark-json file")
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH,
+        help=f"baseline file (default: {BASELINE_PATH.name})",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from this run instead of gating",
+    )
+    args = parser.parse_args(argv)
+    ratios = load_ratios(args.results)
+    if args.update:
+        update_baseline(ratios, args.baseline)
+        return 0
+    return check(ratios, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,25 +5,9 @@ within seconds through batching."
 """
 
 from repro.jobs import ConfigLevel, JobService, JobSpec, JobStore, StateSyncer
-from repro.jobs.plan import TaskActuator
+from repro.testing import NullActuator
 
 NUM_JOBS = 20_000
-
-
-class NullActuator(TaskActuator):
-    """Accepts every action instantly (isolates syncer bookkeeping cost)."""
-
-    def apply_settings(self, job_id, config):
-        pass
-
-    def stop_tasks(self, job_id):
-        pass
-
-    def redistribute_checkpoints(self, job_id, old, new):
-        pass
-
-    def start_tasks(self, job_id, count, config):
-        pass
 
 
 def build_fleet():

@@ -16,10 +16,11 @@ from repro.jobs.configs import (
 from repro.jobs.model import JobSpec
 from repro.jobs.plan import Action, ExecutionPlan, TaskActuator
 from repro.jobs.service import JobService
-from repro.jobs.store import JobStore, VersionedConfig
+from repro.jobs.store import ChangeCursor, JobStore, VersionedConfig
 from repro.jobs.syncer import StateSyncer, SyncReport
 
 __all__ = [
+    "ChangeCursor",
     "ConfigLevel",
     "layer_configs",
     "merge_levels",

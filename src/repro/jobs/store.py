@@ -13,6 +13,14 @@ The store keeps, for every job:
 Durability is modelled with JSON snapshots: :meth:`dump_snapshot` /
 :meth:`load_snapshot` round-trip the entire store, which the crash-recovery
 tests use to prove committed state survives a restart.
+
+The store also exposes a *change feed* (:meth:`change_cursor`): a
+drainable set of job ids whose stored state changed since the cursor was
+last polled. The State Syncer uses it to sync only the jobs that could
+possibly need work instead of rescanning the whole fleet every round.
+Every mutation path notifies the feed except :meth:`commit_running` with
+``quiet=True`` — the syncer's own commit, which by construction leaves
+the job converged and must not re-dirty it.
 """
 
 from __future__ import annotations
@@ -34,6 +42,39 @@ class VersionedConfig:
     version: int = 0
 
 
+class ChangeCursor:
+    """A drainable feed of job ids whose store state changed.
+
+    Created via :meth:`JobStore.change_cursor`; pre-seeded with every job
+    that exists at creation time, so a consumer that processes everything
+    the cursor yields sees each job at least once — divergences that
+    predate the cursor are not lost. :meth:`poll` returns the pending ids
+    (sorted, for deterministic iteration) and clears them.
+    """
+
+    def __init__(self, store: "JobStore", backfill) -> None:
+        self._store = store
+        self._pending: set = set(backfill)
+
+    def push(self, job_id: JobId) -> None:
+        self._pending.add(job_id)
+
+    def poll(self) -> List[JobId]:
+        """All job ids changed since the last poll (sorted); drains."""
+        pending = sorted(self._pending)
+        self._pending.clear()
+        return pending
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        """Detach from the store (no further notifications)."""
+        self._store._cursors = [
+            cursor for cursor in self._store._cursors if cursor is not self
+        ]
+
+
 class JobStore:
     """In-memory versioned store of expected and running job configurations."""
 
@@ -45,6 +86,25 @@ class JobStore:
         #: plan failed after taking actions. The syncer must re-execute a
         #: full synchronization even when expected == running.
         self._dirty: set = set()
+        #: Live change-feed cursors (see :meth:`change_cursor`).
+        self._cursors: List[ChangeCursor] = []
+
+    # ------------------------------------------------------------------
+    # Change feed
+    # ------------------------------------------------------------------
+    def change_cursor(self) -> ChangeCursor:
+        """Subscribe a new :class:`ChangeCursor` to this store's mutations.
+
+        The cursor is backfilled with every currently-live job, so the
+        first poll covers the whole fleet.
+        """
+        cursor = ChangeCursor(self, self._expected)
+        self._cursors.append(cursor)
+        return cursor
+
+    def _notify_change(self, job_id: JobId) -> None:
+        for cursor in self._cursors:
+            cursor.push(job_id)
 
     # ------------------------------------------------------------------
     # Job lifecycle
@@ -58,6 +118,7 @@ class JobStore:
         }
         self._running[job_id] = VersionedConfig()
         self._states[job_id] = JobState.RUNNING
+        self._notify_change(job_id)
 
     def delete_job(self, job_id: JobId) -> None:
         """Remove a job entirely."""
@@ -65,6 +126,7 @@ class JobStore:
         del self._expected[job_id]
         del self._running[job_id]
         self._states[job_id] = JobState.DELETED
+        self._notify_change(job_id)
 
     def job_ids(self) -> List[JobId]:
         """All live jobs, sorted for deterministic iteration."""
@@ -83,6 +145,7 @@ class JobStore:
     def set_state(self, job_id: JobId, state: JobState) -> None:
         self._require_job(job_id)
         self._states[job_id] = state
+        self._notify_change(job_id)
 
     # ------------------------------------------------------------------
     # Expected configurations
@@ -118,6 +181,7 @@ class JobStore:
             )
         stored.config = json.loads(json.dumps(config))
         stored.version += 1
+        self._notify_change(job_id)
         return stored.version
 
     def merged_expected(self, job_id: JobId) -> Config:
@@ -136,12 +200,21 @@ class JobStore:
         stored = self._running[job_id]
         return VersionedConfig(dict(stored.config), stored.version)
 
-    def commit_running(self, job_id: JobId, config: Config) -> int:
-        """Replace the running configuration (State Syncer only).
+    def commit_running(
+        self, job_id: JobId, config: Config, quiet: bool = False
+    ) -> int:
+        """Replace the running configuration.
 
         Commit is the *last* step of a synchronization: it happens "only
         after the plan is successfully executed" (section III-B), which is
         what makes updates atomic from the cluster's point of view.
+
+        ``quiet=True`` is reserved for the State Syncer's own commits: the
+        job is converged by construction, so notifying the change feed
+        would only make the next incremental round re-examine it for
+        nothing. Every other caller (e.g. the Capacity Manager invalidating
+        a running config to force a restart) uses the default and wakes the
+        syncer up.
         """
         self._require_job(job_id)
         validate_config(config)
@@ -149,6 +222,8 @@ class JobStore:
         stored.config = json.loads(json.dumps(config))
         stored.version += 1
         self._dirty.discard(job_id)
+        if not quiet:
+            self._notify_change(job_id)
         return stored.version
 
     # ------------------------------------------------------------------
@@ -163,6 +238,7 @@ class JobStore:
         """
         self._require_job(job_id)
         self._dirty.add(job_id)
+        self._notify_change(job_id)
 
     def is_dirty(self, job_id: JobId) -> bool:
         self._require_job(job_id)

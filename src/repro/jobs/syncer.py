@@ -20,6 +20,29 @@ ACIDF properties and where they live here:
 * **Fault-tolerance** — a failed plan is aborted and retried next round;
   after ``quarantine_after`` consecutive failures the job is quarantined
   and an alert is raised for the oncall.
+
+Incremental synchronization
+---------------------------
+
+Rescanning tens of thousands of converged jobs every 30 seconds is the
+control plane's hottest path, and almost all of that work is wasted: in a
+quiescent fleet nothing changed since the last round. The syncer therefore
+maintains a *dirty set* via the Job Store's change feed
+(:meth:`~repro.jobs.store.JobStore.change_cursor`) and examines only jobs
+whose expected config, running config, lifecycle state, or torn-plan flag
+changed — plus its own retry backlog (failed plans re-enter the dirty set
+through ``mark_dirty``; orphaned deletions are kept in a retry set).
+
+A periodic **full scan** (every ``full_scan_interval`` rounds) remains as
+a safety net against any mutation path the feed might miss, mirroring the
+production pattern of pairing deltas with periodic anti-entropy sweeps.
+Correctness does not depend on the net: the change feed is complete by
+construction, and the equivalence property tests in
+``tests/jobs/test_incremental_equivalence.py`` drive both modes through
+random chaos and require identical outcomes. Determinism is preserved:
+an incremental round examines the sorted dirty set, so the jobs that
+produce plans are visited in exactly the order a full scan would visit
+them.
 """
 
 from __future__ import annotations
@@ -31,7 +54,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import SyncError
 from repro.jobs.configs import config_diff
 from repro.jobs.plan import ExecutionPlan, TaskActuator, build_plan
-from repro.jobs.store import JobStore
+from repro.jobs.store import ChangeCursor, JobStore
 from repro.obs.bounded import BoundedList
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import (
@@ -56,6 +79,11 @@ DEFAULT_QUARANTINE_AFTER = 3
 #: syncer runs forever in soak tests, so the audit trail must be bounded.
 DEFAULT_ROUND_RETENTION = 20_160
 
+#: Incremental rounds between anti-entropy full scans (the safety net).
+#: At the default 30-second sync interval this is one full fleet rescan
+#: every ten minutes.
+DEFAULT_FULL_SCAN_INTERVAL = 20
+
 
 @dataclass
 class SyncReport:
@@ -66,6 +94,11 @@ class SyncReport:
     complex_synced: List[JobId] = field(default_factory=list)
     failed: List[JobId] = field(default_factory=list)
     quarantined: List[JobId] = field(default_factory=list)
+    #: Whether this round rescanned the whole fleet (False = dirty-set only).
+    full_scan: bool = True
+    #: How many live jobs the round examined (dirty-set size for
+    #: incremental rounds, fleet size for full scans).
+    examined: int = 0
 
     @property
     def total_synced(self) -> int:
@@ -85,6 +118,8 @@ class StateSyncer:
         tracer: Optional[Tracer] = None,
         telemetry: Optional[Telemetry] = None,
         round_retention: int = DEFAULT_ROUND_RETENTION,
+        incremental: bool = True,
+        full_scan_interval: int = DEFAULT_FULL_SCAN_INTERVAL,
     ) -> None:
         self._store = store
         self._actuator = actuator
@@ -95,6 +130,22 @@ class StateSyncer:
         self._telemetry = telemetry or NULL_TELEMETRY
         self._failure_counts: Dict[JobId, int] = {}
         self._timer: Optional[Timer] = None
+        if full_scan_interval < 1:
+            raise SyncError(
+                f"full_scan_interval must be >= 1: {full_scan_interval}"
+            )
+        self._incremental = incremental
+        self._full_scan_interval = full_scan_interval
+        # Start saturated so the very first round is a full scan: it
+        # sweeps cluster orphans that predate this syncer (and its
+        # cursor), which no change feed can know about.
+        self._rounds_since_full = full_scan_interval
+        #: Dirty-set source; None when running in full-scan-only mode.
+        self._cursor: Optional[ChangeCursor] = (
+            store.change_cursor() if incremental else None
+        )
+        #: Deleted jobs whose cluster-side GC failed and must be retried.
+        self._orphan_retry: set = set()
         self.rounds: List[SyncReport] = BoundedList(maxlen=round_retention)
         #: Oncall alerts raised on quarantine, as ``(time, job_id, reason)``.
         self.alerts: List[tuple] = []
@@ -128,20 +179,42 @@ class StateSyncer:
     # One round
     # ------------------------------------------------------------------
     def sync_once(self) -> SyncReport:
-        """Run one synchronization round over every non-quarantined job.
+        """Run one synchronization round over every non-quarantined job
+        that might need work.
 
-        Simple synchronizations are batched (collected first, committed
-        together); complex ones run individually. This mirrors the paper's
-        "batches the simple synchronizations and parallelize[s] the complex
-        ones".
+        In incremental mode only the dirty set (jobs the change feed
+        reported since the previous round) is examined; every
+        ``full_scan_interval`` rounds — and always when incremental mode
+        is off — the whole fleet is rescanned as an anti-entropy safety
+        net. Either way, simple synchronizations are batched (collected
+        first, committed together); complex ones run individually. This
+        mirrors the paper's "batches the simple synchronizations and
+        parallelize[s] the complex ones".
         """
         started_wall = perf_counter() if self._telemetry.enabled else 0.0
-        report = SyncReport(time=self.now)
+        full_scan = (
+            self._cursor is None
+            or self._rounds_since_full >= self._full_scan_interval
+        )
+        report = SyncReport(time=self.now, full_scan=full_scan)
         simple_plans: List[ExecutionPlan] = []
         complex_plans: List[ExecutionPlan] = []
 
-        self._collect_deleted_jobs(report)
-        for job_id in self._store.job_ids():
+        dirty_size = 0
+        if full_scan:
+            self._rounds_since_full = 0
+            if self._cursor is not None:
+                # The scan supersedes every pending delta.
+                self._cursor.poll()
+            self._collect_deleted_jobs(report)
+            candidates = self._store.job_ids()
+        else:
+            self._rounds_since_full += 1
+            changed = self._cursor.poll()
+            dirty_size = len(changed)
+            candidates = self._collect_feed_deletions(changed, report)
+        report.examined = len(candidates)
+        for job_id in candidates:
             if self._store.state_of(job_id) == JobState.QUARANTINED:
                 continue
             plan = self._plan_for(job_id)
@@ -179,9 +252,24 @@ class StateSyncer:
                 self._telemetry.inc(
                     "syncer.plan_failures", float(len(report.failed))
                 )
+            wall_ms = (perf_counter() - started_wall) * 1000.0
+            self._telemetry.observe("syncer.round_wall_ms", wall_ms)
+            # ``cache.*`` instruments describe how the round was computed,
+            # not what it decided; deterministic telemetry exports skip
+            # them (see Telemetry.snapshot).
+            if full_scan:
+                self._telemetry.inc("cache.syncer.full_scans")
+                self._telemetry.observe("syncer.full_round_wall_ms", wall_ms)
+            else:
+                self._telemetry.inc("cache.syncer.incremental_rounds")
+                self._telemetry.observe(
+                    "syncer.incremental_round_wall_ms", wall_ms
+                )
+                self._telemetry.observe(
+                    "cache.syncer.dirty_set", float(dirty_size)
+                )
             self._telemetry.observe(
-                "syncer.round_wall_ms",
-                (perf_counter() - started_wall) * 1000.0,
+                "cache.syncer.examined", float(report.examined)
             )
         return report
 
@@ -200,11 +288,44 @@ class StateSyncer:
             if job_id not in live
         ]
         for job_id in orphaned:
-            try:
-                self._actuator.stop_tasks(job_id)
-                report.simple_synced.append(job_id)
-            except Exception:  # noqa: BLE001 — retried next round
-                report.failed.append(job_id)
+            self._stop_orphan(job_id, report)
+
+    def _collect_feed_deletions(
+        self, changed: List[JobId], report: SyncReport
+    ) -> List[JobId]:
+        """Split a dirty set into live candidates and deletions to GC.
+
+        Deleted jobs reach the dirty set through the change feed (the
+        store notifies on ``delete_job``); jobs whose GC failed earlier
+        sit in the retry set until a round succeeds or a full scan finds
+        them gone from the cluster. Returns the live candidates in the
+        same sorted order a full scan would visit them.
+        """
+        candidates: List[JobId] = []
+        deleted = set(self._orphan_retry)
+        for job_id in changed:
+            if self._store.exists(job_id):
+                candidates.append(job_id)
+            else:
+                deleted.add(job_id)
+        if deleted:
+            known = set(self._known_running_jobs())
+            for job_id in sorted(deleted):
+                if job_id not in known or self._store.exists(job_id):
+                    self._orphan_retry.discard(job_id)
+                    continue
+                self._stop_orphan(job_id, report)
+        return candidates
+
+    def _stop_orphan(self, job_id: JobId, report: SyncReport) -> None:
+        """GC the cluster state of one store-deleted job (best effort)."""
+        try:
+            self._actuator.stop_tasks(job_id)
+            report.simple_synced.append(job_id)
+            self._orphan_retry.discard(job_id)
+        except Exception:  # noqa: BLE001 — retried next round
+            report.failed.append(job_id)
+            self._orphan_retry.add(job_id)
 
     def _known_running_jobs(self) -> List[JobId]:
         """Jobs the actuator side still knows about (best effort)."""
@@ -256,8 +377,9 @@ class StateSyncer:
             )
             self._record_failure(job_id, str(exc), report, plan_event)
             return
-        # Atomic commit: only reached when every action succeeded.
-        self._store.commit_running(job_id, plan.target_config)
+        # Atomic commit: only reached when every action succeeded. Quiet:
+        # the job is converged, so the change feed must not re-dirty it.
+        self._store.commit_running(job_id, plan.target_config, quiet=True)
         self._failure_counts.pop(job_id, None)
         if plan.complex:
             report.complex_synced.append(job_id)

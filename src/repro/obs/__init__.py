@@ -23,6 +23,7 @@ from repro.obs.telemetry import (
     NULL_TELEMETRY,
     EngineInstrumentation,
     Telemetry,
+    is_deterministic_instrument,
 )
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 
@@ -33,4 +34,5 @@ __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
     "EngineInstrumentation",
+    "is_deterministic_instrument",
 ]

@@ -30,6 +30,22 @@ DEFAULT_BUCKETS = (
 )
 
 
+def is_deterministic_instrument(name: str) -> bool:
+    """Whether an instrument is reproducible across same-seed runs.
+
+    Two families are excluded from deterministic exports:
+
+    * wall-clock measurements — by convention every such instrument name
+      ends in ``_ms`` — which are real ``perf_counter`` readings and vary
+      run to run;
+    * ``cache.*`` instruments, which describe *how* the control plane
+      computed a decision (dirty-set sizes, decision-cache hits), not
+      what it decided. They legitimately differ between a cached and an
+      uncached run of the same seed, while everything else must not.
+    """
+    return not (name.endswith("_ms") or name.startswith("cache."))
+
+
 @dataclass
 class Gauge:
     """Last-write-wins value that also tracks its observed extremes."""
@@ -130,11 +146,24 @@ class Telemetry:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
-    def snapshot(self) -> Dict[str, Any]:
-        """A plain-dict view of every instrument (sorted names)."""
+    def snapshot(self, deterministic: bool = False) -> Dict[str, Any]:
+        """A plain-dict view of every instrument (sorted names).
+
+        With ``deterministic=True``, instruments that legitimately vary
+        between same-seed runs (wall-clock ``*_ms`` readings and
+        ``cache.*`` self-observation; see
+        :func:`is_deterministic_instrument`) are dropped, so the result
+        is byte-for-byte reproducible — including across runs that differ
+        only in caching/incremental-computation strategy.
+        """
+        def keep(name: str) -> bool:
+            return not deterministic or is_deterministic_instrument(name)
+
         return {
             "counters": {
-                name: self.counters[name] for name in sorted(self.counters)
+                name: self.counters[name]
+                for name in sorted(self.counters)
+                if keep(name)
             },
             "gauges": {
                 name: {
@@ -144,6 +173,7 @@ class Telemetry:
                     "updates": gauge.updates,
                 }
                 for name, gauge in sorted(self.gauges.items())
+                if keep(name)
             },
             "histograms": {
                 name: {
@@ -155,13 +185,14 @@ class Telemetry:
                     "p95": hist.quantile(0.95),
                 }
                 for name, hist in sorted(self.histograms.items())
+                if keep(name)
             },
         }
 
-    def to_jsonl(self) -> str:
+    def to_jsonl(self, deterministic: bool = False) -> str:
         """One JSON line per instrument."""
         lines = []
-        snapshot = self.snapshot()
+        snapshot = self.snapshot(deterministic=deterministic)
         for name, value in snapshot["counters"].items():
             lines.append(json.dumps(
                 {"type": "counter", "name": name, "value": value},
@@ -178,10 +209,12 @@ class Telemetry:
             ))
         return "".join(line + "\n" for line in lines)
 
-    def write_jsonl(self, path) -> None:
+    def write_jsonl(self, path, deterministic: bool = False) -> None:
         from pathlib import Path
 
-        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+        Path(path).write_text(
+            self.to_jsonl(deterministic=deterministic), encoding="utf-8"
+        )
 
     def render(self, prefix: str = "") -> str:
         """A fixed-width table of every instrument matching ``prefix``."""

@@ -9,7 +9,11 @@ container within a utilization band of the tier average.
 """
 
 from repro.tasks.actuator import TurbineActuator
-from repro.tasks.balancer import AssignmentChange, compute_assignment
+from repro.tasks.balancer import (
+    AssignmentChange,
+    PlacementCache,
+    compute_assignment,
+)
 from repro.tasks.manager import TaskManager
 from repro.tasks.runtime import RunningTask
 from repro.tasks.service import TaskService
@@ -29,4 +33,5 @@ __all__ = [
     "shard_id_for_task",
     "compute_assignment",
     "AssignmentChange",
+    "PlacementCache",
 ]

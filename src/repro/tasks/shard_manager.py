@@ -29,7 +29,11 @@ from repro.obs.bounded import BoundedList
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
 from repro.sim.engine import Engine, Timer
-from repro.tasks.balancer import DEFAULT_BAND, compute_assignment
+from repro.tasks.balancer import (
+    DEFAULT_BAND,
+    PlacementCache,
+    compute_assignment,
+)
 from repro.tasks.shard import all_shard_ids
 from repro.types import ContainerId, Seconds, ShardId
 
@@ -107,6 +111,13 @@ class ShardManager:
         #: When False, periodic rebalancing is skipped (the Fig. 7
         #: experiment toggles this).
         self.balancing_enabled = True
+        #: Placement decision cache (exactly equivalent to from-scratch
+        #: computation; see repro.tasks.balancer). Disable to force every
+        #: round through the full algorithm — results are identical either
+        #: way, which tests/integration/test_determinism.py asserts
+        #: byte-for-byte.
+        self.placement_cache_enabled = True
+        self._placement_cache = PlacementCache(telemetry=telemetry)
         self._timers: List[Timer] = []
 
     # ------------------------------------------------------------------
@@ -218,12 +229,11 @@ class ShardManager:
             if owner in live
         }
         started_wall = perf_counter() if self._telemetry.enabled else 0.0
-        change = compute_assignment(
-            loads, capacities, current=current, band=self.band,
+        change = self._compute_placement(
+            loads, capacities, current,
             container_regions={
                 cid: manager.region for cid, manager in live.items()
             },
-            shard_regions=self.shard_regions,
         )
         if self._telemetry.enabled:
             self._telemetry.inc("balancer.rounds")
@@ -241,6 +251,20 @@ class ShardManager:
             )
         for shard_id, source, destination in change.moves:
             self._move_shard(shard_id, source, destination, parent=round_event)
+
+    def _compute_placement(self, loads, capacities, current, container_regions):
+        """Run the balancer, through the decision cache when enabled."""
+        if self.placement_cache_enabled:
+            return self._placement_cache.compute(
+                loads, capacities, current=current, band=self.band,
+                container_regions=container_regions,
+                shard_regions=self.shard_regions,
+            )
+        return compute_assignment(
+            loads, capacities, current=current, band=self.band,
+            container_regions=container_regions,
+            shard_regions=self.shard_regions,
+        )
 
     def _move_shard(
         self,
@@ -367,16 +391,14 @@ class ShardManager:
         }
         # Place only the orphaned shards; existing placements are the
         # starting load of each container.
-        placement = compute_assignment(
+        placement = self._compute_placement(
             {**{s: self.shard_loads.get(s, DEFAULT_SHARD_LOAD)
                 for s in current_live_loads}, **loads},
             capacities,
-            current=current_live_loads,
-            band=self.band,
+            current_live_loads,
             container_regions={
                 cid: manager.region for cid, manager in live.items()
             },
-            shard_regions=self.shard_regions,
         )
         moved = 0
         for shard_id in orphaned:

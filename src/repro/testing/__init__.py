@@ -1,0 +1,97 @@
+"""Shared test doubles for the State Syncer's actuator seam.
+
+Benchmarks, unit tests, and property tests all need fake
+:class:`~repro.jobs.plan.TaskActuator` implementations; before this module
+each defined its own. The three canonical doubles live here so every call
+site exercises the same semantics:
+
+* :class:`NullActuator` — accepts everything instantly; isolates syncer
+  bookkeeping cost in benchmarks.
+* :class:`RecordingActuator` — logs every call and can fail on command;
+  the workhorse of the syncer unit tests.
+* :class:`ChaoticActuator` — fails actions according to a pre-drawn
+  schedule; drives the property-based chaos and equivalence suites. Two
+  instances built from the same schedule inject byte-identical failure
+  sequences, which is what lets the equivalence tests run an incremental
+  and a full-scan syncer against *the same* chaos.
+
+This is library code (it ships under ``repro``) because benchmarks and
+examples import it without the test tree on ``sys.path``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.jobs.plan import TaskActuator
+
+__all__ = ["NullActuator", "RecordingActuator", "ChaoticActuator"]
+
+
+class NullActuator(TaskActuator):
+    """Accepts every action instantly (isolates syncer bookkeeping cost)."""
+
+    def apply_settings(self, job_id, config):
+        pass
+
+    def stop_tasks(self, job_id):
+        pass
+
+    def redistribute_checkpoints(self, job_id, old, new):
+        pass
+
+    def start_tasks(self, job_id, count, config):
+        pass
+
+
+class RecordingActuator(TaskActuator):
+    """Test double that logs calls and can fail on command."""
+
+    def __init__(self):
+        self.calls: List[tuple] = []
+        self.fail_on: set = set()
+
+    def _maybe_fail(self, op):
+        if op in self.fail_on:
+            raise RuntimeError(f"injected failure in {op}")
+
+    def apply_settings(self, job_id, config):
+        self._maybe_fail("apply_settings")
+        self.calls.append(("apply_settings", job_id))
+
+    def stop_tasks(self, job_id):
+        self._maybe_fail("stop_tasks")
+        self.calls.append(("stop_tasks", job_id))
+
+    def redistribute_checkpoints(self, job_id, old, new):
+        self._maybe_fail("redistribute_checkpoints")
+        self.calls.append(("redistribute_checkpoints", job_id, old, new))
+
+    def start_tasks(self, job_id, count, config):
+        self._maybe_fail("start_tasks")
+        self.calls.append(("start_tasks", job_id, count))
+
+
+class ChaoticActuator(TaskActuator):
+    """Fails actions according to a pre-drawn schedule."""
+
+    def __init__(self, failure_plan: Iterable[bool]):
+        #: Iterator of booleans: True = next action fails.
+        self._plan = iter(failure_plan)
+        self.failing = True
+
+    def _maybe_fail(self):
+        if self.failing and next(self._plan, False):
+            raise RuntimeError("chaos")
+
+    def apply_settings(self, job_id, config):
+        self._maybe_fail()
+
+    def stop_tasks(self, job_id):
+        self._maybe_fail()
+
+    def redistribute_checkpoints(self, job_id, old, new):
+        self._maybe_fail()
+
+    def start_tasks(self, job_id, count, config):
+        self._maybe_fail()

@@ -14,11 +14,15 @@ from repro.scaler import AutoScalerConfig
 from repro.workloads import DiurnalPattern, TrafficDriver
 
 
-def run_busy_hour(seed):
+def run_busy_hour(seed, placement_cache=True, observe=False):
     platform = Turbine.create(
         num_hosts=4, seed=seed,
         config=PlatformConfig(num_shards=32, containers_per_host=2),
     )
+    platform.shard_manager.placement_cache_enabled = placement_cache
+    if observe:
+        platform.enable_tracing()
+        platform.enable_instrumentation()
     platform.attach_scaler(AutoScalerConfig(interval=120.0))
     platform.start()
     driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
@@ -61,6 +65,12 @@ def run_busy_hour(seed):
             for p in platform.scribe.get_category(f"cat-{i}").partitions
         ),
     }
+    if observe:
+        exports = {
+            "trace": platform.tracer.to_jsonl(),
+            "telemetry": platform.telemetry.to_jsonl(deterministic=True),
+        }
+        return fingerprint, exports
     return fingerprint
 
 
@@ -72,3 +82,42 @@ def test_different_seed_differs():
     a = run_busy_hour(seed=101)
     b = run_busy_hour(seed=202)
     assert a != b, "different seeds must explore different trajectories"
+
+
+class TestPlacementCacheTransparency:
+    """The decision cache must be invisible to every observable output.
+
+    Golden same-seed runs with the cache on and off must agree not just
+    on the coarse fingerprint but on the byte-exact causal trace and the
+    deterministic telemetry export. Mechanism metrics (``cache.*``) and
+    wall-clock instruments (``*_ms``) legitimately differ between the two
+    runs, which is exactly why the deterministic export excludes them —
+    see :func:`repro.obs.telemetry.is_deterministic_instrument`.
+    """
+
+    def test_same_seed_byte_identical_with_cache_on_and_off(self):
+        fp_on, exports_on = run_busy_hour(
+            seed=101, placement_cache=True, observe=True
+        )
+        fp_off, exports_off = run_busy_hour(
+            seed=101, placement_cache=False, observe=True
+        )
+        assert fp_on == fp_off
+        assert exports_on["trace"] == exports_off["trace"]
+        assert exports_on["telemetry"] == exports_off["telemetry"]
+
+    def test_cache_actually_engaged_in_golden_run(self):
+        """Guard against the transparency test passing vacuously."""
+        platform = Turbine.create(
+            num_hosts=2, seed=7,
+            config=PlatformConfig(num_shards=8, containers_per_host=2),
+        )
+        platform.start()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2)
+        )
+        platform.run_for(hours=0.5)
+        cache = platform.shard_manager._placement_cache
+        assert cache.hits + cache.repairs > 0, (
+            "periodic rebalance rounds should be served by the cache"
+        )

@@ -23,36 +23,11 @@ from repro.jobs import (
     JobSpec,
     JobStore,
     StateSyncer,
-    TaskActuator,
 )
+from repro.testing import ChaoticActuator
 from repro.types import JobState
 
 NUM_JOBS = 3
-
-
-class ChaoticActuator(TaskActuator):
-    """Fails actions according to a pre-drawn schedule."""
-
-    def __init__(self, failure_plan):
-        #: Iterator of booleans: True = next action fails.
-        self._plan = iter(failure_plan)
-        self.failing = True
-
-    def _maybe_fail(self):
-        if self.failing and next(self._plan, False):
-            raise RuntimeError("chaos")
-
-    def apply_settings(self, job_id, config):
-        self._maybe_fail()
-
-    def stop_tasks(self, job_id):
-        self._maybe_fail()
-
-    def redistribute_checkpoints(self, job_id, old, new):
-        self._maybe_fail()
-
-    def start_tasks(self, job_id, count, config):
-        self._maybe_fail()
 
 
 # One chaos step: (job_index, writer_level, task_count)

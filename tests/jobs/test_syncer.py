@@ -1,7 +1,5 @@
 """Tests for the State Syncer: ACIDF semantics, batching, quarantine."""
 
-from typing import List
-
 import pytest
 
 from repro.errors import SyncError
@@ -11,38 +9,10 @@ from repro.jobs import (
     JobSpec,
     JobStore,
     StateSyncer,
-    TaskActuator,
 )
 from repro.sim import Engine
+from repro.testing import RecordingActuator
 from repro.types import JobState
-
-
-class RecordingActuator(TaskActuator):
-    """Test double that logs calls and can fail on command."""
-
-    def __init__(self):
-        self.calls: List[tuple] = []
-        self.fail_on: set = set()
-
-    def _maybe_fail(self, op):
-        if op in self.fail_on:
-            raise RuntimeError(f"injected failure in {op}")
-
-    def apply_settings(self, job_id, config):
-        self._maybe_fail("apply_settings")
-        self.calls.append(("apply_settings", job_id))
-
-    def stop_tasks(self, job_id):
-        self._maybe_fail("stop_tasks")
-        self.calls.append(("stop_tasks", job_id))
-
-    def redistribute_checkpoints(self, job_id, old, new):
-        self._maybe_fail("redistribute_checkpoints")
-        self.calls.append(("redistribute_checkpoints", job_id, old, new))
-
-    def start_tasks(self, job_id, count, config):
-        self._maybe_fail("start_tasks")
-        self.calls.append(("start_tasks", job_id, count))
 
 
 def make_setup(task_count=4):
