@@ -4,6 +4,7 @@ Commands:
     demo        run a small end-to-end deployment and print a health report
     timeline    run an incident scenario and print the merged event timeline
     trace       print the causal decision chain for one job
+    chaos       run a named chaos scenario and print the MTTR report
     growth      print the Fig. 1-style yearly growth table
     footprints  print the Fig. 5-style task footprint summary
     experiments list the benchmark harnesses and what they reproduce
@@ -127,6 +128,44 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import all_scenarios, run_scenario
+
+    if args.scenario == "list":
+        for name, scenario in sorted(all_scenarios().items()):
+            print(f"  {name:24s} {scenario.description}")
+        return 0
+    try:
+        result = run_scenario(args.scenario, seed=args.seed)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.timeline_out:
+        Path(args.timeline_out).write_text(
+            result.timeline_text + "\n", encoding="utf-8"
+        )
+        print(f"timeline written to {args.timeline_out}")
+    if args.telemetry_out:
+        Path(args.telemetry_out).write_text(
+            result.telemetry_jsonl, encoding="utf-8"
+        )
+        print(f"deterministic telemetry written to {args.telemetry_out}")
+    if not result.converged:
+        print("FAIL: scenario did not converge", file=sys.stderr)
+        return 1
+    if args.max_mttr is not None and (
+        result.max_mttr is None or result.max_mttr > args.max_mttr
+    ):
+        print(
+            f"FAIL: worst MTTR {result.max_mttr} exceeds "
+            f"--max-mttr {args.max_mttr}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_growth(args: argparse.Namespace) -> int:
     from repro.analysis import Table
     from repro.workloads import ScubaFleet
@@ -231,6 +270,21 @@ def main(argv=None) -> int:
                        help="read trace JSONL (from demo --trace-out) "
                             "instead of running the incident scenario")
     trace.set_defaults(func=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="run a chaos scenario and print the MTTR report"
+    )
+    chaos.add_argument("scenario",
+                       help="scenario name, or 'list' to enumerate")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--max-mttr", type=float, default=None,
+                       help="exit 1 if any fault's recovery exceeds this "
+                            "many seconds (or never happens)")
+    chaos.add_argument("--timeline-out", metavar="FILE", default=None,
+                       help="write the scenario's incident timeline here")
+    chaos.add_argument("--telemetry-out", metavar="FILE", default=None,
+                       help="write deterministic telemetry JSONL here")
+    chaos.set_defaults(func=cmd_chaos)
 
     growth = sub.add_parser("growth", help="Fig. 1-style growth table")
     growth.add_argument("--jobs", type=int, default=1000)

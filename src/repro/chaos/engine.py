@@ -1,0 +1,199 @@
+"""The chaos engine: schedules scenarios and measures recovery.
+
+All faults run on the simulation engine, so a scenario is as
+deterministic as the platform it runs against: same seed, same fault
+times, same recovery trajectory. Every injection, clearance, stimulus,
+and convergence event is appended to :attr:`ChaosEngine.records`, which
+the incident timeline merges alongside syncer alerts, failovers, and
+host deaths.
+
+MTTR is measured per fault: when a measured fault clears, the engine
+starts sampling :class:`~repro.chaos.convergence.ConvergenceChecker`
+every ``check_interval`` seconds; the first fully converged sample
+closes the clock. A fault whose clock never closes reports ``None``
+(the scenario did not recover inside the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chaos.convergence import ConvergenceChecker, InvariantReport
+from repro.chaos.scenarios import ChaosScenario, Fault
+from repro.types import Seconds
+
+#: How often the convergence watch samples the invariants.
+CHECK_INTERVAL: Seconds = 5.0
+
+
+@dataclass(frozen=True)
+class ChaosRecord:
+    """One thing the chaos engine did or observed."""
+
+    time: Seconds
+    scenario: str
+    kind: str    # "inject" | "clear" | "action" | "converged"
+    target: str
+    detail: str = ""
+
+
+@dataclass
+class _Watch:
+    """An open MTTR clock: fault cleared, waiting for convergence."""
+
+    scenario: str
+    fault_key: str
+    cleared_at: Seconds
+
+
+class ChaosEngine:
+    """Schedules declarative fault scenarios against one platform."""
+
+    def __init__(self, platform, check_interval: Seconds = CHECK_INTERVAL) -> None:
+        self._platform = platform
+        self._engine = platform.engine
+        self._check_interval = check_interval
+        self.checker = ConvergenceChecker(platform)
+        self.records: List[ChaosRecord] = []
+        #: fault key → MTTR in seconds (``None`` until converged).
+        self.mttr: Dict[str, Optional[Seconds]] = {}
+        self._watches: List[_Watch] = []
+        self._watch_timer = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, scenario: ChaosScenario, at: Optional[Seconds] = None) -> None:
+        """Arm every fault of ``scenario`` relative to ``at`` (default now)."""
+        base = self._engine.now if at is None else at
+        for fault in scenario.faults:
+            self._engine.call_at(
+                base + fault.at,
+                lambda f=fault: self._inject(scenario.name, f),
+            )
+            if fault.duration is not None:
+                self._engine.call_at(
+                    base + fault.at + fault.duration,
+                    lambda f=fault: self._clear(scenario.name, f),
+                )
+        self._ensure_watch_timer()
+
+    @property
+    def converged(self) -> bool:
+        """True when no MTTR clock is still open."""
+        return not self._watches
+
+    def check(self) -> InvariantReport:
+        """One immediate invariant sample (no timer involved)."""
+        return self.checker.check()
+
+    # ------------------------------------------------------------------
+    # Fault dispatch
+    # ------------------------------------------------------------------
+    def _inject(self, scenario: str, fault: Fault) -> None:
+        platform = self._platform
+        detail = ""
+        kind = "inject"
+        if fault.kind == "job-store-outage":
+            platform.job_store.fail()
+        elif fault.kind == "syncer-crash":
+            platform.syncer.crash()
+        elif fault.kind == "shard-manager-outage":
+            platform.shard_manager.fail()
+        elif fault.kind == "task-service-outage":
+            platform.task_service.fail()
+        elif fault.kind == "metric-gap":
+            platform.metrics.fail()
+        elif fault.kind == "scribe-partition-loss":
+            for partition in platform.scribe.get_category(fault.target).partitions:
+                partition.online = False
+        elif fault.kind == "host-failure":
+            platform.failures.fail_now(fault.target, label=scenario)
+            kind = "action"
+        elif fault.kind == "oncall-patch":
+            from repro.jobs.configs import ConfigLevel
+
+            platform.job_service.patch(
+                fault.target, ConfigLevel.ONCALL, dict(fault.payload or {})
+            )
+            kind = "action"
+            detail = repr(dict(fault.payload or {}))
+        self._record(scenario, kind, fault.key, detail)
+        self._telemetry_inc("chaos.faults_injected")
+
+    def _clear(self, scenario: str, fault: Fault) -> None:
+        platform = self._platform
+        if fault.kind == "job-store-outage":
+            platform.job_store.recover()
+        elif fault.kind == "syncer-crash":
+            platform.syncer.restart()
+        elif fault.kind == "shard-manager-outage":
+            platform.shard_manager.recover()
+        elif fault.kind == "task-service-outage":
+            platform.task_service.recover()
+        elif fault.kind == "metric-gap":
+            platform.metrics.recover()
+        elif fault.kind == "scribe-partition-loss":
+            for partition in platform.scribe.get_category(fault.target).partitions:
+                partition.online = True
+        elif fault.kind == "host-failure":
+            platform.failures.recover_now(fault.target, label=scenario)
+        self._record(scenario, "clear", fault.key)
+        if fault.measure:
+            self.mttr.setdefault(fault.key, None)
+            self._watches.append(
+                _Watch(scenario, fault.key, cleared_at=self._engine.now)
+            )
+            self._ensure_watch_timer()
+
+    # ------------------------------------------------------------------
+    # Convergence watch
+    # ------------------------------------------------------------------
+    def _ensure_watch_timer(self) -> None:
+        if self._watch_timer is None:
+            self._watch_timer = self._engine.every(
+                self._check_interval, self._check_watches, name="chaos-watch"
+            )
+
+    def _check_watches(self) -> None:
+        if not self._watches:
+            return
+        report = self.checker.check()
+        if not report.converged:
+            return
+        now = self._engine.now
+        for watch in self._watches:
+            mttr = now - watch.cleared_at
+            self.mttr[watch.fault_key] = mttr
+            self._record(
+                watch.scenario, "converged", watch.fault_key,
+                f"mttr={mttr:g}s",
+            )
+            self._telemetry_observe("chaos.mttr_seconds", mttr)
+        self._watches.clear()
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    def _record(self, scenario: str, kind: str, target: str, detail: str = "") -> None:
+        self.records.append(
+            ChaosRecord(self._engine.now, scenario, kind, target, detail)
+        )
+
+    def _telemetry_inc(self, name: str) -> None:
+        telemetry = getattr(self._platform, "telemetry", None)
+        if telemetry is not None:
+            telemetry.inc(name)
+
+    def _telemetry_observe(self, name: str, value: float) -> None:
+        telemetry = getattr(self._platform, "telemetry", None)
+        if telemetry is not None:
+            telemetry.observe(name, value)
+
+    def __repr__(self) -> str:
+        open_watches = len(self._watches)
+        return (
+            f"ChaosEngine(records={len(self.records)}, "
+            f"open_watches={open_watches})"
+        )

@@ -1,0 +1,157 @@
+"""Standard chaos-scenario runs: one platform shape, one report format.
+
+:func:`run_scenario` builds the same small deployment the incident
+tooling uses (4 hosts x 2 containers, 32 shards, three jobs with steady
+traffic), warms it up to a converged steady state, schedules one named
+scenario, and runs to the scenario's horizon. The result carries MTTR
+per measured fault plus deterministic exports (timeline text, telemetry
+JSONL) so same-seed runs are byte-for-byte comparable — the golden
+determinism tests and the CI determinism sweep diff these directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chaos.convergence import InvariantReport
+from repro.chaos.scenarios import ChaosScenario, get_scenario
+from repro.types import Seconds
+
+#: Steady-state lead-in before the scenario starts: long enough for
+#: initial placement, first syncs, refreshes, and a scaler pass.
+WARMUP: Seconds = 300.0
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one chaos run produced."""
+
+    scenario: str
+    seed: int
+    started_at: Seconds
+    finished_at: Seconds
+    #: fault key → seconds from fault clear to first converged sample
+    #: (``None`` = never converged inside the horizon).
+    mttr: Dict[str, Optional[Seconds]] = field(default_factory=dict)
+    final_report: Optional[InvariantReport] = None
+    timeline_text: str = ""
+    telemetry_jsonl: str = ""
+
+    @property
+    def converged(self) -> bool:
+        """Every measured fault recovered and the final sample is clean."""
+        return (
+            all(value is not None for value in self.mttr.values())
+            and self.final_report is not None
+            and self.final_report.converged
+        )
+
+    @property
+    def max_mttr(self) -> Optional[Seconds]:
+        """Worst measured recovery time (``None`` if any clock is open)."""
+        if not self.mttr or any(v is None for v in self.mttr.values()):
+            return None
+        return max(self.mttr.values())
+
+    def render(self) -> str:
+        """The ``repro chaos`` report."""
+        from repro.analysis.report import Table
+
+        lines = [f"chaos scenario: {self.scenario} (seed {self.seed})"]
+        table = Table(["fault", "mttr (s)"])
+        for key in sorted(self.mttr):
+            value = self.mttr[key]
+            table.add_row(key, f"{value:.1f}" if value is not None
+                          else "NOT RECOVERED")
+        lines.append(table.render())
+        if self.final_report is not None:
+            violations = self.final_report.violations()
+            if violations:
+                lines.append("final invariant violations:")
+                for name, values in sorted(violations.items()):
+                    lines.append(f"  {name}: {', '.join(values)}")
+            else:
+                lines.append("final invariants: all restored")
+        lines.append(f"converged: {'yes' if self.converged else 'NO'}")
+        return "\n".join(lines)
+
+
+def build_platform(seed: int):
+    """The standard chaos deployment (shared with the hypothesis suites).
+
+    4 hosts x 2 containers, 32 shards, scaler + health reporter attached,
+    tracing and instrumentation on, three jobs (``chaos/job-0..2``) with
+    steady traffic on ``cat-0..2``.
+    """
+    from repro import JobSpec, PlatformConfig, Turbine
+    from repro.workloads import TrafficDriver
+
+    platform = Turbine.create(
+        num_hosts=4, seed=seed,
+        config=PlatformConfig(num_shards=32, containers_per_host=2),
+    )
+    platform.attach_scaler()
+    platform.attach_health_reporter()
+    platform.attach_chaos()
+    platform.enable_tracing()
+    platform.enable_instrumentation()
+    platform.start()
+    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    rates = {"chaos/job-0": 2.0, "chaos/job-1": 1.0, "chaos/job-2": 1.0}
+    for index, (job_id, rate) in enumerate(sorted(rates.items())):
+        platform.provision(
+            JobSpec(job_id=job_id, input_category=f"cat-{index}",
+                    task_count=2, rate_per_thread_mb=2.0,
+                    task_count_limit=16),
+        )
+        driver.add_source(f"cat-{index}", lambda t, r=rate: r)
+    driver.start()
+    return platform
+
+
+def run_scenario(
+    name_or_scenario,
+    seed: int = 0,
+    warmup: Seconds = WARMUP,
+) -> ScenarioResult:
+    """Run one named (or inline) scenario on a fresh platform."""
+    scenario: ChaosScenario = (
+        name_or_scenario
+        if isinstance(name_or_scenario, ChaosScenario)
+        else get_scenario(name_or_scenario)
+    )
+    platform = build_platform(seed)
+    platform.run_for(seconds=warmup)
+    started_at = platform.now
+    platform.chaos.schedule(scenario)
+    platform.run_for(seconds=scenario.horizon)
+
+    result = ScenarioResult(
+        scenario=scenario.name,
+        seed=seed,
+        started_at=started_at,
+        finished_at=platform.now,
+        mttr=dict(platform.chaos.mttr),
+        final_report=platform.chaos.check(),
+    )
+    from repro.ops.timeline import IncidentTimeline
+
+    result.timeline_text = IncidentTimeline(platform).render(since=started_at)
+    result.telemetry_jsonl = platform.telemetry.to_jsonl(deterministic=True)
+    return result
+
+
+def mttr_table(names: List[str], seeds: List[int]) -> str:
+    """An MTTR-across-seeds table (the EXPERIMENTS.md format)."""
+    from repro.analysis.report import Table
+
+    table = Table(["scenario"] + [f"seed {seed}" for seed in seeds])
+    for name in names:
+        row = [name]
+        for seed in seeds:
+            result = run_scenario(name, seed=seed)
+            value = result.max_mttr
+            row.append(f"{value:.1f}" if value is not None else "n/a")
+        table.add_row(*row)
+    return table.render()

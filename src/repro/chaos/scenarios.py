@@ -1,0 +1,223 @@
+"""Declarative chaos scenarios for the Turbine control plane.
+
+Each scenario is a list of :class:`Fault` records with times **relative to
+the moment the scenario is scheduled**, so the same scenario replays
+identically from any starting state. Faults with a ``duration`` open an
+availability window (``inject`` then ``clear``); faults without one are
+instantaneous stimuli (an oncall config patch, a host death).
+
+The registry covers the degraded modes the paper calls out:
+
+* ``job-store-outage`` — the source of truth disappears (section IV-A's
+  "continues with the most recent state" requirement);
+* ``syncer-crash`` — the State Syncer dies losing its in-memory dirty
+  set, and anti-entropy (a forced full scan) must repair the gap;
+* ``shard-manager-outage`` — section IV-C's "Failure of Turbine
+  Containers": managers keep their shards through the outage, and a host
+  dies mid-outage to prove recovery still detects real failures;
+* ``task-service-staleness`` — section IV-B: managers run from cached
+  snapshots until the Task Service returns;
+* ``metric-gap`` — the scaler's input goes dark (section V's "demand
+  estimates from metrics"); the data plane must not care;
+* ``scribe-partition-loss`` — an input category's brokers vanish; lag
+  builds, no data is lost, and the backlog drains after recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.types import Seconds
+
+#: Fault kinds the chaos engine knows how to inject.
+FAULT_KINDS = (
+    "job-store-outage",
+    "syncer-crash",
+    "shard-manager-outage",
+    "task-service-outage",
+    "metric-gap",
+    "scribe-partition-loss",
+    "host-failure",
+    "oncall-patch",
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault (or stimulus) inside a scenario.
+
+    ``at`` is relative to scenario start. ``duration`` of ``None`` means
+    the fault is an instantaneous action with nothing to clear; otherwise
+    the fault clears at ``at + duration`` and, when ``measure`` is true,
+    the chaos engine measures MTTR from that clear to the first
+    convergence-check pass.
+    """
+
+    kind: str
+    at: Seconds
+    duration: Optional[Seconds] = None
+    #: Host id, Scribe category, or job id — depending on ``kind``.
+    target: str = ""
+    #: Config overlay for ``oncall-patch``.
+    payload: Optional[Mapping[str, object]] = None
+    measure: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+        if self.at < 0:
+            raise ValueError(f"fault time must be non-negative: {self.at}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"fault duration must be positive: {self.duration}")
+
+    @property
+    def key(self) -> str:
+        """Stable identifier for MTTR bookkeeping and reports."""
+        suffix = f":{self.target}" if self.target else ""
+        return f"{self.kind}{suffix}@{self.at:g}s"
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, replayable fault schedule."""
+
+    name: str
+    description: str
+    faults: Tuple[Fault, ...]
+    #: How long :func:`repro.chaos.runner.run_scenario` keeps simulating
+    #: after scheduling the scenario (long enough to converge).
+    horizon: Seconds = 960.0
+
+    def measured_faults(self) -> Tuple[Fault, ...]:
+        """The faults whose recovery the engine times."""
+        return tuple(
+            fault for fault in self.faults
+            if fault.measure and fault.duration is not None
+        )
+
+
+def _job_store_outage() -> ChaosScenario:
+    return ChaosScenario(
+        name="job-store-outage",
+        description=(
+            "Job Store unavailable for 5 min; an oncall patch lands just "
+            "before the outage so the syncer has pending work it cannot "
+            "see. Rounds are skipped (not crashed) and the patch applies "
+            "after recovery."
+        ),
+        faults=(
+            Fault("oncall-patch", at=40.0, target="chaos/job-0",
+                  payload={"task_count": 4}, measure=False),
+            Fault("job-store-outage", at=45.0, duration=300.0),
+        ),
+    )
+
+
+def _syncer_crash() -> ChaosScenario:
+    return ChaosScenario(
+        name="syncer-crash",
+        description=(
+            "State Syncer crashes, losing its in-memory dirty set and "
+            "change cursor; a patch lands while it is down. On restart "
+            "anti-entropy (a forced full scan) finds and applies the "
+            "missed change."
+        ),
+        faults=(
+            Fault("syncer-crash", at=30.0, duration=300.0),
+            Fault("oncall-patch", at=60.0, target="chaos/job-1",
+                  payload={"task_count": 3}, measure=False),
+        ),
+    )
+
+
+def _shard_manager_outage() -> ChaosScenario:
+    return ChaosScenario(
+        name="shard-manager-outage",
+        description=(
+            "Shard Manager down for 7 min; Task Managers keep their "
+            "shards and tasks keep running (paper IV-C). A host dies "
+            "mid-outage — undetectable until the Shard Manager returns, "
+            "at which point failover moves its shards."
+        ),
+        faults=(
+            Fault("shard-manager-outage", at=30.0, duration=420.0),
+            Fault("host-failure", at=120.0, target="host-1", measure=False),
+        ),
+        horizon=1200.0,
+    )
+
+
+def _task_service_staleness() -> ChaosScenario:
+    return ChaosScenario(
+        name="task-service-staleness",
+        description=(
+            "Task Service snapshots unavailable for 5 min while a patch "
+            "raises a job's task count; the syncer commits the new specs "
+            "but managers run from stale cached snapshots until recovery "
+            "(paper IV-B)."
+        ),
+        faults=(
+            Fault("task-service-outage", at=30.0, duration=300.0),
+            Fault("oncall-patch", at=60.0, target="chaos/job-0",
+                  payload={"task_count": 4}, measure=False),
+        ),
+    )
+
+
+def _metric_gap() -> ChaosScenario:
+    return ChaosScenario(
+        name="metric-gap",
+        description=(
+            "Metric-store ingestion drops samples for 5 min; scalers and "
+            "health reports run on stale data but the data plane is "
+            "untouched, so recovery is immediate."
+        ),
+        faults=(
+            Fault("metric-gap", at=30.0, duration=300.0),
+        ),
+        horizon=660.0,
+    )
+
+
+def _scribe_partition_loss() -> ChaosScenario:
+    return ChaosScenario(
+        name="scribe-partition-loss",
+        description=(
+            "Every partition of one input category goes offline for "
+            "5 min; producers keep buffering (no data loss), consumers "
+            "stall and lag builds, then the backlog drains after "
+            "recovery."
+        ),
+        faults=(
+            Fault("scribe-partition-loss", at=30.0, duration=300.0,
+                  target="cat-0"),
+        ),
+    )
+
+
+#: Name → scenario. The registry is rebuilt per call so scenario tuples
+#: can never be mutated by one run and leak into the next.
+def all_scenarios() -> Dict[str, ChaosScenario]:
+    scenarios = (
+        _job_store_outage(),
+        _syncer_crash(),
+        _shard_manager_outage(),
+        _task_service_staleness(),
+        _metric_gap(),
+        _scribe_partition_loss(),
+    )
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    """Look up a registered scenario by name."""
+    scenarios = all_scenarios()
+    if name not in scenarios:
+        known = ", ".join(sorted(scenarios))
+        raise KeyError(f"unknown chaos scenario {name!r} (known: {known})")
+    return scenarios[name]
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(all_scenarios()))

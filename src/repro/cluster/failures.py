@@ -36,6 +36,9 @@ class FailureRecord:
     host_id: HostId
     time: Seconds
     kind: str  # "fail" | "recover"
+    #: Which scenario injected the event; lets overlapping chaos
+    #: scenarios stay distinguishable in ``repro timeline``.
+    label: str = ""
 
 
 class FailureInjector:
@@ -49,20 +52,34 @@ class FailureInjector:
     # ------------------------------------------------------------------
     # Scripted failures
     # ------------------------------------------------------------------
-    def schedule(self, plan: FailurePlan) -> None:
+    def schedule(self, plan: FailurePlan, label: str = "scripted") -> None:
         """Arrange for ``plan`` to happen at its configured times."""
         self._engine.call_at(
-            plan.fail_at, lambda: self._fail(plan.host_id)
+            plan.fail_at, lambda: self._fail(plan.host_id, label)
         )
         if plan.recover_at is not None:
             self._engine.call_at(
-                plan.recover_at, lambda: self._recover(plan.host_id)
+                plan.recover_at, lambda: self._recover(plan.host_id, label)
             )
 
-    def schedule_all(self, plans: List[FailurePlan]) -> None:
+    def schedule_all(
+        self, plans: List[FailurePlan], label: str = "scripted"
+    ) -> None:
         """Schedule many scripted failures at once."""
         for plan in plans:
-            self.schedule(plan)
+            self.schedule(plan, label=label)
+
+    # ------------------------------------------------------------------
+    # Immediate failures (chaos scenarios inject through these so every
+    # host event lands in ``history`` with its scenario label)
+    # ------------------------------------------------------------------
+    def fail_now(self, host_id: HostId, label: str = "") -> None:
+        """Fail ``host_id`` right now, recording the event."""
+        self._fail(host_id, label)
+
+    def recover_now(self, host_id: HostId, label: str = "") -> None:
+        """Recover ``host_id`` right now, recording the event."""
+        self._recover(host_id, label)
 
     # ------------------------------------------------------------------
     # Random failures
@@ -87,10 +104,10 @@ class FailureInjector:
             live = self._cluster.live_hosts()
             if live:
                 host = rng.choice(live)
-                self._fail(host.host_id)
+                self._fail(host.host_id, label)
                 downtime = rng.expovariate(1.0 / mean_time_to_recover)
                 self._engine.call_in(
-                    downtime, lambda h=host.host_id: self._recover(h)
+                    downtime, lambda h=host.host_id: self._recover(h, label)
                 )
             gap = rng.expovariate(1.0 / mean_time_between_failures)
             self._engine.call_in(gap, next_failure)
@@ -101,14 +118,18 @@ class FailureInjector:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _fail(self, host_id: HostId) -> None:
+    def _fail(self, host_id: HostId, label: str = "") -> None:
         if host_id not in self._cluster.hosts:
             return  # Host was decommissioned before the event fired.
         self._cluster.fail_host(host_id)
-        self.history.append(FailureRecord(host_id, self._engine.now, "fail"))
+        self.history.append(
+            FailureRecord(host_id, self._engine.now, "fail", label=label)
+        )
 
-    def _recover(self, host_id: HostId) -> None:
+    def _recover(self, host_id: HostId, label: str = "") -> None:
         if host_id not in self._cluster.hosts:
             return
         self._cluster.recover_host(host_id)
-        self.history.append(FailureRecord(host_id, self._engine.now, "recover"))
+        self.history.append(
+            FailureRecord(host_id, self._engine.now, "recover", label=label)
+        )

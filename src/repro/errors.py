@@ -71,3 +71,25 @@ class DegradedModeError(TurbineError):
     components fail (paper section II); operations that *require* the failed
     component raise this error instead of blocking.
     """
+
+
+class ServiceUnavailableError(DegradedModeError):
+    """A control-plane service announced it is down (an availability
+    window, not a connection failure).
+
+    The distinction matters for the section IV-C protocol: a Task Manager
+    that cannot *reach* the Shard Manager must assume split-brain and
+    reboot after its 40-second timeout, but a Shard Manager that answers
+    "I am unavailable" is a service-level outage — every container is
+    equally affected, no fail-over can happen, and the correct degraded
+    mode is "keep your shards and keep processing".
+    """
+
+
+class CircuitOpenError(DegradedModeError):
+    """A resilience circuit breaker is open: the dependency failed
+    repeatedly and calls are short-circuited until the breaker half-opens.
+
+    Subclasses :class:`DegradedModeError` so existing degraded-mode
+    handling treats a tripped breaker like an unavailable dependency.
+    """

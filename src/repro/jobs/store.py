@@ -29,7 +29,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.errors import JobStoreError, VersionConflictError
+from repro.errors import (
+    JobStoreError,
+    ServiceUnavailableError,
+    VersionConflictError,
+)
 from repro.jobs.configs import Config, ConfigLevel, merge_levels, validate_config
 from repro.types import JobId, JobState
 
@@ -88,6 +92,35 @@ class JobStore:
         self._dirty: set = set()
         #: Live change-feed cursors (see :meth:`change_cursor`).
         self._cursors: List[ChangeCursor] = []
+        #: When False the store is in an availability window: every data
+        #: operation raises :class:`ServiceUnavailableError` and clients
+        #: run on last-known-good state (the production store is MySQL;
+        #: this models a primary outage). Snapshot durability helpers are
+        #: exempt — they model the disk, not the service.
+        self.available = True
+
+    # ------------------------------------------------------------------
+    # Availability (chaos hooks)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Begin an availability window (all data operations raise)."""
+        self.available = False
+
+    def recover(self) -> None:
+        """End the availability window."""
+        self.available = True
+
+    def ping(self) -> None:
+        """Cheap liveness probe: raises when unavailable, else a no-op.
+
+        O(1) — periodic callers use it to decide whether to skip a round
+        without paying for a fleet scan.
+        """
+        self._check_available()
+
+    def _check_available(self) -> None:
+        if not self.available:
+            raise ServiceUnavailableError("Job Store is unavailable")
 
     # ------------------------------------------------------------------
     # Change feed
@@ -111,6 +144,7 @@ class JobStore:
     # ------------------------------------------------------------------
     def create_job(self, job_id: JobId) -> None:
         """Register a job with empty config levels."""
+        self._check_available()
         if job_id in self._expected:
             raise JobStoreError(f"job {job_id} already exists")
         self._expected[job_id] = {
@@ -122,6 +156,7 @@ class JobStore:
 
     def delete_job(self, job_id: JobId) -> None:
         """Remove a job entirely."""
+        self._check_available()
         self._require_job(job_id)
         del self._expected[job_id]
         del self._running[job_id]
@@ -130,19 +165,23 @@ class JobStore:
 
     def job_ids(self) -> List[JobId]:
         """All live jobs, sorted for deterministic iteration."""
+        self._check_available()
         return sorted(self._expected)
 
     def exists(self, job_id: JobId) -> bool:
+        self._check_available()
         return job_id in self._expected
 
     def state_of(self, job_id: JobId) -> JobState:
         """Lifecycle state; DELETED jobs are remembered for audit."""
+        self._check_available()
         try:
             return self._states[job_id]
         except KeyError:
             raise JobStoreError(f"unknown job {job_id}") from None
 
     def set_state(self, job_id: JobId, state: JobState) -> None:
+        self._check_available()
         self._require_job(job_id)
         self._states[job_id] = state
         self._notify_change(job_id)
@@ -154,6 +193,7 @@ class JobStore:
         self, job_id: JobId, level: ConfigLevel
     ) -> VersionedConfig:
         """A copy of one expected level (config + version)."""
+        self._check_available()
         self._require_job(job_id)
         stored = self._expected[job_id][level]
         return VersionedConfig(dict(stored.config), stored.version)
@@ -171,6 +211,7 @@ class JobStore:
         returns the new version. This serializes concurrent writers to the
         same level (e.g. two oncalls editing the oncall config).
         """
+        self._check_available()
         self._require_job(job_id)
         validate_config(config)
         stored = self._expected[job_id][level]
@@ -186,6 +227,7 @@ class JobStore:
 
     def merged_expected(self, job_id: JobId) -> Config:
         """All expected levels merged by precedence (Algorithm 1)."""
+        self._check_available()
         self._require_job(job_id)
         return merge_levels(
             {level: vc.config for level, vc in self._expected[job_id].items()}
@@ -196,6 +238,7 @@ class JobStore:
     # ------------------------------------------------------------------
     def read_running(self, job_id: JobId) -> VersionedConfig:
         """A copy of the running configuration."""
+        self._check_available()
         self._require_job(job_id)
         stored = self._running[job_id]
         return VersionedConfig(dict(stored.config), stored.version)
@@ -216,6 +259,7 @@ class JobStore:
         a running config to force a restart) uses the default and wakes the
         syncer up.
         """
+        self._check_available()
         self._require_job(job_id)
         validate_config(config)
         stored = self._running[job_id]
@@ -236,11 +280,13 @@ class JobStore:
         actions: the aborted plan may have stopped tasks, so even a
         reverted expected config must trigger a full resynchronization.
         """
+        self._check_available()
         self._require_job(job_id)
         self._dirty.add(job_id)
         self._notify_change(job_id)
 
     def is_dirty(self, job_id: JobId) -> bool:
+        self._check_available()
         self._require_job(job_id)
         return job_id in self._dirty
 

@@ -51,7 +51,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import SyncError
+from repro.errors import DegradedModeError, SyncError
 from repro.jobs.configs import config_diff
 from repro.jobs.plan import ExecutionPlan, TaskActuator, build_plan
 from repro.jobs.store import ChangeCursor, JobStore
@@ -64,6 +64,7 @@ from repro.obs.trace import (
     TraceEvent,
     Tracer,
 )
+from repro.resilience import CircuitBreaker, Dependency, RetryPolicy
 from repro.sim.engine import Engine, Timer
 from repro.types import JobId, JobState, Seconds
 
@@ -96,6 +97,10 @@ class SyncReport:
     quarantined: List[JobId] = field(default_factory=list)
     #: Whether this round rescanned the whole fleet (False = dirty-set only).
     full_scan: bool = True
+    #: True when the round did nothing because the Job Store was
+    #: unavailable (the syncer runs on last-known-good running state and
+    #: retries next round).
+    skipped: bool = False
     #: How many live jobs the round examined (dirty-set size for
     #: incremental rounds, fleet size for full scans).
     examined: int = 0
@@ -151,6 +156,24 @@ class StateSyncer:
         self.alerts: List[tuple] = []
         #: Callbacks invoked with (job_id, reason) when a job is quarantined.
         self.on_quarantine: List[Callable[[JobId, str], None]] = []
+        #: Resilience edges. The store edge carries a breaker whose reset
+        #: timeout equals the sync interval, so every round is a probe and
+        #: recovery is detected with no extra latency; the actuator edge
+        #: is count-and-classify only — a failed plan already has
+        #: retry-next-round semantics, and auto-retrying inside a round
+        #: would change the quarantine accounting.
+        self._store_dep = Dependency(
+            "syncer.job-store",
+            clock=lambda: self.now,
+            telemetry=self._telemetry,
+            breaker=CircuitBreaker(failure_threshold=2, reset_timeout=interval),
+        )
+        self._actuator_dep = Dependency(
+            "syncer.actuator",
+            clock=lambda: self.now,
+            telemetry=self._telemetry,
+            retry=RetryPolicy(max_attempts=1, retry_on=()),
+        )
 
     # ------------------------------------------------------------------
     # Periodic operation
@@ -170,6 +193,34 @@ class StateSyncer:
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
+
+    def crash(self) -> None:
+        """Simulate a hard crash: the process dies with all in-memory
+        state — the dirty-set cursor, consecutive-failure counts, and the
+        orphan retry set. Durable state (the Job Store) is untouched.
+        """
+        self.stop()
+        if self._cursor is not None:
+            self._cursor.close()
+            self._cursor = None
+        self._failure_counts.clear()
+        self._orphan_retry.clear()
+        self._telemetry.inc("syncer.crashes")
+
+    def restart(self) -> None:
+        """Restart after :meth:`crash`: anti-entropy recovery.
+
+        A fresh change cursor is subscribed (backfilled with every live
+        job) and the full-scan counter is saturated, so the first round
+        rescans the whole fleet — exactly how a new syncer process makes
+        up for the deltas its predecessor lost.
+        """
+        if self._incremental and self._cursor is None:
+            self._cursor = self._store.change_cursor()
+        self._rounds_since_full = self._full_scan_interval
+        self._telemetry.inc("syncer.restarts")
+        if self._engine is not None and self._timer is None:
+            self.start()
 
     @property
     def now(self) -> Seconds:
@@ -192,6 +243,16 @@ class StateSyncer:
         parallelize[s] the complex ones".
         """
         started_wall = perf_counter() if self._telemetry.enabled else 0.0
+        try:
+            self._store_dep.call(self._store.ping)
+        except DegradedModeError:
+            # Job Store outage: skip the round — the cluster keeps running
+            # on last-known-good state, and everything that changes in the
+            # meantime accumulates in the change feed for the next round.
+            report = SyncReport(time=self.now, full_scan=False, skipped=True)
+            self.rounds.append(report)
+            self._telemetry.inc("syncer.rounds_skipped")
+            return report
         full_scan = (
             self._cursor is None
             or self._rounds_since_full >= self._full_scan_interval
@@ -320,7 +381,7 @@ class StateSyncer:
     def _stop_orphan(self, job_id: JobId, report: SyncReport) -> None:
         """GC the cluster state of one store-deleted job (best effort)."""
         try:
-            self._actuator.stop_tasks(job_id)
+            self._actuator_dep.call(self._actuator.stop_tasks, job_id)
             report.simple_synced.append(job_id)
             self._orphan_retry.discard(job_id)
         except Exception:  # noqa: BLE001 — retried next round
@@ -365,7 +426,7 @@ class StateSyncer:
         # the plan causes can link back to it while the plan is current.
         self._tracer.set_context(job_id, SLOT_SYNC, plan_event)
         try:
-            plan.execute(self._actuator)
+            self._actuator_dep.call(plan.execute, self._actuator)
         except Exception as exc:  # noqa: BLE001 — any actuator failure aborts
             # The aborted plan may have already acted on the cluster
             # (e.g. stopped tasks): mark the job so a later round resyncs

@@ -24,6 +24,21 @@ class MetricStore:
     def __init__(self, default_retention: Seconds = DEFAULT_RETENTION) -> None:
         self.default_retention = default_retention
         self._series: Dict[Tuple[str, str], TimeSeries] = {}
+        #: When False the ingestion path is down: writes are dropped (a
+        #: gap appears in every series) while reads keep serving whatever
+        #: was recorded before — the realistic shape of a metric-store
+        #: outage, and what makes scaler decisions run on stale data.
+        self.available = True
+        #: Samples dropped while unavailable (for reports and tests).
+        self.dropped_points = 0
+
+    def fail(self) -> None:
+        """Begin an availability window: ingestion drops samples."""
+        self.available = False
+
+    def recover(self) -> None:
+        """End the availability window."""
+        self.available = True
 
     def series(
         self,
@@ -40,7 +55,10 @@ class MetricStore:
         return self._series[key]
 
     def record(self, entity: str, metric: str, time: Seconds, value: float) -> None:
-        """Append one sample."""
+        """Append one sample (silently dropped while unavailable)."""
+        if not self.available:
+            self.dropped_points += 1
+            return
         self.series(entity, metric).record(time, value)
 
     def latest(self, entity: str, metric: str) -> Optional[float]:

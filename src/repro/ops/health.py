@@ -15,6 +15,7 @@ from typing import List, Optional
 from repro.obs.bounded import BoundedList
 
 from repro.analysis.report import Table
+from repro.errors import DegradedModeError
 from repro.jobs.service import JobService
 from repro.metrics.store import MetricStore
 from repro.sim.engine import Engine, Timer
@@ -178,8 +179,20 @@ class HealthReporter:
             return {}
 
     def check_once(self) -> HealthReport:
-        """Build a report, record it, and raise any threshold alerts."""
-        report = self.report()
+        """Build a report, record it, and raise any threshold alerts.
+
+        When the Job Store is unavailable the reporter cannot see the
+        fleet; it records an empty report and raises a degraded-visibility
+        alert instead of crashing the periodic timer mid-outage.
+        """
+        try:
+            report = self.report()
+        except DegradedModeError:
+            report = HealthReport(time=self._engine.now)
+            self._alert(
+                "warn", "health visibility degraded: Job Store unavailable",
+                "check Job Store availability; reporting resumes on recovery",
+            )
         self.reports.append(report)
         self._raise_alerts(report)
         return report

@@ -62,6 +62,7 @@ class IncidentTimeline:
         collected.extend(self._failover_events())
         collected.extend(self._capacity_events())
         collected.extend(self._failure_events())
+        collected.extend(self._chaos_events())
         collected.extend(self._health_events())
         collected.extend(self._trace_events())
         source_set = set(sources) if sources else None
@@ -149,9 +150,23 @@ class IncidentTimeline:
         if failures is None:
             return []
         return [
-            TimelineEvent(record.time, "cluster", f"host-{record.kind}",
-                          record.host_id)
+            TimelineEvent(
+                record.time, "cluster", f"host-{record.kind}",
+                record.host_id
+                + (f" [{record.label}]" if getattr(record, "label", "") else ""),
+            )
             for record in failures.history
+        ]
+
+    def _chaos_events(self) -> List[TimelineEvent]:
+        chaos = getattr(self._platform, "chaos", None)
+        if chaos is None:
+            return []
+        return [
+            TimelineEvent(record.time, "chaos", record.kind,
+                          f"{record.target} [{record.scenario}]"
+                          + (f": {record.detail}" if record.detail else ""))
+            for record in chaos.records
         ]
 
     def _health_events(self) -> List[TimelineEvent]:

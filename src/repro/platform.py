@@ -130,10 +130,11 @@ class Turbine:
             self.metrics, interval=self.config.stats_interval,
         )
         #: Filled in by :meth:`attach_scaler` / :meth:`attach_capacity_manager`
-        #: / :meth:`attach_health_reporter`.
+        #: / :meth:`attach_health_reporter` / :meth:`attach_chaos`.
         self.scaler = None
         self.capacity_manager = None
         self.health = None
+        self.chaos = None
         self._started = False
         cluster.on_host_failure.append(self._on_host_failure)
 
@@ -174,6 +175,17 @@ class Turbine:
         if self._started:
             self.health.start()
         return self.health
+
+    def attach_chaos(self):
+        """Attach the deterministic control-plane chaos engine.
+
+        Imported lazily like the other optional subsystems; scenarios are
+        scheduled with :meth:`repro.chaos.ChaosEngine.schedule`.
+        """
+        from repro.chaos import ChaosEngine
+
+        self.chaos = ChaosEngine(self)
+        return self.chaos
 
     def attach_capacity_manager(self, capacity_config=None):
         """Attach the Capacity Manager (requires an attached scaler)."""
@@ -243,6 +255,7 @@ class Turbine:
             load_report_interval=self.config.load_report_interval,
             record_task_metrics=self.config.record_task_metrics,
             tracer=self.tracer,
+            telemetry=self.telemetry,
         )
         self.task_managers[container.container_id] = manager
         manager.start()

@@ -1,0 +1,26 @@
+"""Shared resilience policy kit (retries, breakers, last-known-good).
+
+See :mod:`repro.resilience.policy` for the rationale; components build
+one :class:`Dependency` per call edge and route every cross-component
+call through it.
+"""
+
+from repro.resilience.policy import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Dependency,
+    LastKnownGood,
+    RetryPolicy,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "Dependency",
+    "LastKnownGood",
+    "RetryPolicy",
+]

@@ -1,0 +1,263 @@
+"""Reusable cross-component resilience policies.
+
+The paper's "lessons learned" boil down to one discipline: every layer
+must assume every other layer can be unavailable, and degrade instead of
+failing (sections IV-C/IV-D). Before this module each component enforced
+that discipline ad hoc — scattered ``if not service.available`` checks and
+``except DegradedModeError`` clauses. The policy kit centralizes the
+patterns:
+
+* :class:`RetryPolicy` — exponential backoff with optional jitter drawn
+  from a forked :class:`~repro.sim.rng.SeededRng` stream, so retries are
+  deterministic and replayable like everything else in the simulation.
+* :class:`CircuitBreaker` — the classic CLOSED → OPEN → HALF_OPEN state
+  machine on simulation time. With ``reset_timeout`` at or below the
+  caller's tick period every periodic tick doubles as the half-open
+  probe, which preserves the recovery-detection latency the per-tick
+  boolean checks used to give.
+* :class:`LastKnownGood` — a timestamped cache of the last successful
+  result, the paper's "containers run tasks based on existing snapshots"
+  fallback made reusable.
+* :class:`Dependency` — one guarded edge from a component to a service it
+  calls. Counts calls/failures/short-circuits into :class:`Telemetry`
+  (``resilience.<name>.*``, all deterministic instruments) and classifies
+  failures, so call sites write ``dep.call(...)`` or ``dep.probe(...)``
+  instead of re-implementing the availability dance.
+
+Synchronous retries are *immediate* re-attempts: simulation time cannot
+advance inside a call, so in-call backoff would be a lie. Backoff applies
+to *scheduled* retries — callers that re-arm themselves via
+``engine.call_in`` ask the policy for :meth:`RetryPolicy.delay`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.errors import CircuitOpenError, DegradedModeError
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+
+#: Breaker states (plain strings: cheap, printable, JSON-friendly).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class RetryPolicy:
+    """Exponential backoff schedule: ``base * multiplier**attempt``.
+
+    ``max_attempts`` governs synchronous (immediate) re-attempts inside
+    :meth:`Dependency.call`; :meth:`delay` serves callers that schedule
+    their own retries on the engine. ``jitter`` is the +/- fraction of the
+    delay randomized per call; pass an rng (fork one per component) to
+    keep draws off the shared stream.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 1,
+        base_delay: float = 1.0,
+        multiplier: float = 2.0,
+        max_delay: float = 300.0,
+        jitter: float = 0.0,
+        retry_on: Tuple[Type[BaseException], ...] = (DegradedModeError,),
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {max_attempts}")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1): {jitter}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.multiplier = multiplier
+        self.max_delay = max_delay
+        self.jitter = jitter
+        self.retry_on = retry_on
+
+    def delay(self, attempt: int, rng=None) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = self.base_delay * (self.multiplier ** max(0, attempt))
+        raw = min(raw, self.max_delay)
+        if self.jitter and rng is not None:
+            raw += raw * rng.uniform(-self.jitter, self.jitter)
+        return max(0.0, raw)
+
+
+class CircuitBreaker:
+    """CLOSED → OPEN → HALF_OPEN breaker on simulation time."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1: {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.times_opened = 0
+
+    def allows(self, now: float) -> bool:
+        """Whether a call may proceed; flips OPEN → HALF_OPEN when the
+        reset timeout has elapsed (the caller becomes the probe)."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if (
+                self.opened_at is not None
+                and now - self.opened_at >= self.reset_timeout
+            ):
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True  # HALF_OPEN: let the probe through
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != OPEN:
+                self.times_opened += 1
+            self.state = OPEN
+            self.opened_at = now
+
+
+class LastKnownGood:
+    """The last successful result of a call, with its freshness."""
+
+    def __init__(self) -> None:
+        self._value: Any = None
+        self._stored_at: Optional[float] = None
+
+    @property
+    def has_value(self) -> bool:
+        return self._stored_at is not None
+
+    def store(self, value: Any, now: float) -> None:
+        self._value = value
+        self._stored_at = now
+
+    def get(self, default: Any = None) -> Any:
+        return self._value if self.has_value else default
+
+    def age(self, now: float) -> float:
+        """Seconds since the cached value was stored (inf when empty)."""
+        if self._stored_at is None:
+            return float("inf")
+        return now - self._stored_at
+
+
+class Dependency:
+    """One guarded call edge from a component to a service.
+
+    Every cross-component call goes through :meth:`call` (raise on
+    failure) or :meth:`probe` (return a default on degraded-mode
+    failures). Both count into telemetry under ``resilience.<name>.*``;
+    counter values are functions of simulation decisions only, so they
+    appear in deterministic exports and same-seed runs must agree on them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Optional[Callable[[], float]] = None,
+        telemetry: Optional[Telemetry] = None,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        rng=None,
+    ) -> None:
+        self.name = name
+        self._clock = clock or (lambda: 0.0)
+        self._telemetry = telemetry or NULL_TELEMETRY
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker
+        self.rng = rng
+        self.last_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Guarded calls
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run ``fn`` under this policy; raise its failure when exhausted.
+
+        Degraded-mode failures (and anything in ``retry.retry_on``) are
+        retried up to ``retry.max_attempts`` times synchronously; other
+        exceptions propagate immediately after being counted.
+        """
+        now = self._clock()
+        if self.breaker is not None and not self.breaker.allows(now):
+            self._inc("short_circuits")
+            raise CircuitOpenError(
+                f"dependency {self.name} circuit is open"
+            )
+        attempts = self.retry.max_attempts
+        for attempt in range(attempts):
+            self._inc("calls")
+            try:
+                result = fn(*args, **kwargs)
+            except self.retry.retry_on as error:
+                self._note_failure(error, now)
+                if attempt + 1 >= attempts:
+                    raise
+                self._inc("retries")
+            except BaseException as error:
+                self._note_failure(error, now)
+                raise
+            else:
+                self.last_error = None
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def probe(
+        self, fn: Callable[..., Any], *args: Any, default: Any = None, **kwargs: Any
+    ) -> Any:
+        """Like :meth:`call` but absorb degraded-mode failures.
+
+        Returns ``default`` when the dependency is unavailable (including
+        an open breaker) — the graceful path for periodic callers that
+        must keep ticking through an outage.
+        """
+        try:
+            return self.call(fn, *args, **kwargs)
+        except DegradedModeError:
+            self._inc("fallbacks")
+            return default
+
+    def schedule_delay(self, attempt: int) -> float:
+        """Backoff for a caller-scheduled retry (uses this edge's rng)."""
+        return self.retry.delay(attempt, rng=self.rng)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _note_failure(self, error: BaseException, now: float) -> None:
+        self.last_error = error
+        if isinstance(error, DegradedModeError):
+            self._inc("unavailable")
+        else:
+            self._inc("failures")
+        if self.breaker is not None:
+            was_open = self.breaker.state == OPEN
+            self.breaker.record_failure(now)
+            if self.breaker.state == OPEN and not was_open:
+                self._inc("breaker_opened")
+
+    def _inc(self, what: str) -> None:
+        self._telemetry.inc(f"resilience.{self.name}.{what}")
+
+    def __repr__(self) -> str:
+        state = self.breaker.state if self.breaker is not None else "no-breaker"
+        return f"Dependency({self.name!r}, breaker={state})"

@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.obs.bounded import BoundedList
 
 from repro.cluster.tupperware import TupperwareCluster
+from repro.errors import DegradedModeError
 from repro.jobs.model import KEY_PRIORITY
 from repro.jobs.plan import TaskActuator
 from repro.jobs.service import JobService
@@ -102,6 +103,12 @@ class CapacityManager:
         return reserved.utilization_of(capacity)
 
     def run_once(self) -> None:
+        try:
+            self._service.store.ping()
+        except DegradedModeError:
+            # Job Store outage: stopping/resuming jobs needs store writes;
+            # pressure decisions wait for the next round (degraded mode).
+            return
         utilization = self.cluster_utilization()
         if utilization >= self.config.instability_threshold:
             self._enter_pressure(utilization)

@@ -18,6 +18,7 @@ from repro.cluster.resources import ResourceVector
 from repro.jobs.configs import ConfigLevel
 from repro.jobs.service import JobService
 from repro.metrics.store import MetricStore
+from repro.obs.telemetry import Telemetry
 from repro.obs.trace import (
     NULL_TRACER,
     SLOT_SYMPTOM,
@@ -29,6 +30,7 @@ from repro.scaler.estimators import ResourceEstimator
 from repro.scaler.patterns import PatternAnalyzer
 from repro.scaler.plan_generator import Action, PlanGenerator, ScalingDecision
 from repro.scaler.snapshot import JobSnapshot, bootstrap_rate_hint, snapshot_job
+from repro.resilience import CircuitBreaker, Dependency
 from repro.scribe.bus import ScribeBus
 from repro.sim.engine import Engine, Timer
 from repro.types import JobId, Priority, Seconds
@@ -84,6 +86,7 @@ class AutoScaler:
         scribe: ScribeBus,
         config: Optional[AutoScalerConfig] = None,
         tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._engine = engine
         self._service = job_service
@@ -113,6 +116,17 @@ class AutoScaler:
         self._timer: Optional[Timer] = None
         #: Per-job time of the last symptom, for the quiet-window check.
         self._last_unhealthy: Dict[JobId, Seconds] = {}
+        #: Resilience edge toward the Job Service / Job Store: rounds are
+        #: skipped while the store is out, and the breaker (reset at the
+        #: evaluation interval, so every round probes) tracks the outage.
+        self._store_dep = Dependency(
+            "scaler.job-service",
+            clock=lambda: engine.now,
+            telemetry=telemetry,
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_timeout=self.config.interval
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Periodic operation
@@ -135,7 +149,12 @@ class AutoScaler:
         """Evaluate every active job; returns the non-trivial decisions."""
         now = self._engine.now
         decisions = []
-        for job_id in self._service.active_job_ids():
+        job_ids = self._store_dep.probe(self._service.active_job_ids)
+        if job_ids is None:
+            # Job Store outage: no configs to read or patch. Skip the
+            # round; running tasks are unaffected (degraded mode).
+            return decisions
+        for job_id in job_ids:
             decision = self._evaluate_job(job_id, now)
             if decision is not None and decision.action != Action.NONE:
                 decisions.append(decision)

@@ -23,6 +23,7 @@ from repro.obs.trace import (
     SLOT_WRITE_ORIGIN,
     Tracer,
 )
+from repro.resilience import CircuitBreaker, Dependency
 from repro.scaler.detectors import SymptomDetector
 from repro.scaler.snapshot import JobSnapshot, snapshot_job
 from repro.scribe.bus import ScribeBus
@@ -78,6 +79,15 @@ class ReactiveAutoScaler:
         self._detector = SymptomDetector(tracer=self._tracer)
         self.actions: List[ReactiveAction] = []
         self._timer: Optional[Timer] = None
+        #: Resilience edge toward the Job Service (see the proactive
+        #: scaler for the breaker-period rationale).
+        self._store_dep = Dependency(
+            "reactive-scaler.job-service",
+            clock=lambda: engine.now,
+            breaker=CircuitBreaker(
+                failure_threshold=2, reset_timeout=self.config.interval
+            ),
+        )
 
     def start(self) -> None:
         if self._timer is None:
@@ -95,7 +105,10 @@ class ReactiveAutoScaler:
     # ------------------------------------------------------------------
     def run_once(self) -> None:
         now = self._engine.now
-        for job_id in self._service.active_job_ids():
+        job_ids = self._store_dep.probe(self._service.active_job_ids)
+        if job_ids is None:
+            return  # Job Store outage: skip the round (degraded mode).
+        for job_id in job_ids:
             config = self._service.expected_config(job_id)
             snapshot = snapshot_job(job_id, config, self._metrics, now)
             self._evaluate(snapshot)

@@ -14,11 +14,16 @@ from repro.errors import ScribeError
 class Partition:
     """An append-only stream measured in bytes."""
 
-    __slots__ = ("partition_id", "_head")
+    __slots__ = ("partition_id", "_head", "online")
 
     def __init__(self, partition_id: str) -> None:
         self.partition_id = partition_id
         self._head: float = 0.0
+        #: When False the partition's brokers are unreachable: reads
+        #: return nothing (consumers stall and lag builds) while appends
+        #: still land — Scribe buffers producer-side, so no data is lost
+        #: and the backlog is fully readable after recovery.
+        self.online = True
 
     @property
     def head(self) -> float:
@@ -35,9 +40,22 @@ class Partition:
         return self._head
 
     def available(self, offset: float) -> float:
-        """Bytes readable from ``offset`` (0 when the reader is caught up)."""
+        """Bytes backlogged past ``offset`` (0 when the reader is caught up).
+
+        This is the true backlog — it keeps counting while the partition
+        is offline, which is what lag metrics must report. Consumers
+        fetch through :meth:`readable`/:meth:`read`, which go to zero
+        during an outage.
+        """
         self._check_offset(offset)
         return self._head - offset
+
+    def readable(self, offset: float) -> float:
+        """Bytes a consumer can actually fetch right now (0 offline)."""
+        if not self.online:
+            self._check_offset(offset)
+            return 0.0
+        return self.available(offset)
 
     def read(self, offset: float, max_bytes: float) -> float:
         """Bytes a reader at ``offset`` consumes given a ``max_bytes`` budget.
@@ -48,6 +66,9 @@ class Partition:
         """
         if max_bytes < 0:
             raise ScribeError(f"max_bytes must be non-negative: {max_bytes}")
+        if not self.online:
+            self._check_offset(offset)
+            return 0.0
         return min(max_bytes, self.available(offset))
 
     def _check_offset(self, offset: float) -> None:

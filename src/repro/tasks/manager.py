@@ -22,9 +22,11 @@ from typing import Dict, List, Optional
 
 from repro.cluster.container import TurbineContainer
 from repro.cluster.resources import ResourceVector
-from repro.errors import DegradedModeError
+from repro.errors import DegradedModeError, ServiceUnavailableError
 from repro.metrics.store import MetricStore
+from repro.obs.telemetry import Telemetry
 from repro.obs.trace import NULL_TRACER, SLOT_SYNC, Tracer
+from repro.resilience import Dependency, LastKnownGood, RetryPolicy
 from repro.scribe.bus import ScribeBus
 from repro.sim.engine import Engine, Timer
 from repro.tasks.runtime import RunningTask
@@ -70,6 +72,7 @@ class TaskManager:
         load_report_interval: Seconds = LOAD_REPORT_INTERVAL,
         record_task_metrics: bool = False,
         tracer: Optional[Tracer] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self._tracer = tracer or NULL_TRACER
         self._engine = engine
@@ -88,8 +91,31 @@ class TaskManager:
         self.assigned_shards: set = set()
         self.tasks: Dict[TaskId, RunningTask] = {}
         self._task_shard: Dict[TaskId, ShardId] = {}
-        #: Cached shard index for degraded-mode operation.
-        self._cached_index: Dict[ShardId, Dict[TaskId, TaskSpec]] = {}
+        #: Last-known-good shard index for degraded-mode operation
+        #: ("containers run tasks based on existing snapshots", IV-D).
+        self._index_lkg: LastKnownGood = LastKnownGood()
+        #: Resilience edges toward the two control-plane services this
+        #: manager calls. The edges share one telemetry name per target
+        #: across all containers, so counters aggregate fleet-wide. The
+        #: reconnect retry policy reproduces the historical fixed
+        #: heartbeat-interval cadence (multiplier 1, no jitter) so
+        #: recovery timing is unchanged.
+        self._sm_dep = Dependency(
+            "task-manager.shard-manager",
+            clock=lambda: engine.now,
+            telemetry=telemetry,
+            retry=RetryPolicy(
+                max_attempts=1, base_delay=heartbeat_interval,
+                multiplier=1.0, retry_on=(),
+            ),
+        )
+        self._ts_dep = Dependency(
+            "task-manager.task-service",
+            clock=lambda: engine.now,
+            telemetry=telemetry,
+        )
+        self._telemetry = telemetry
+        self._reconnect_attempts = 0
         #: Simulated network partition toward the Shard Manager.
         self.partitioned = False
         #: Test hooks: make DROP_SHARD / ADD_SHARD hang (raise TimeoutError).
@@ -125,8 +151,17 @@ class TaskManager:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Register with the Shard Manager and arm all periodic timers."""
-        self._shard_manager.register_container(self)
+        """Register with the Shard Manager and arm all periodic timers.
+
+        When the Shard Manager is in an availability window the
+        registration is deferred to the reconnect loop — the timers still
+        arm, so the container is fully functional the moment it manages
+        to register.
+        """
+        try:
+            self._sm_dep.call(self._shard_manager.register_container, self)
+        except ServiceUnavailableError:
+            self._schedule_reconnect()
         if self._timers:
             return
         jitter = self._engine.rng.fork(self.container_id)
@@ -185,16 +220,26 @@ class TaskManager:
     def _refresh(self) -> None:
         if not self.alive:
             return
-        try:
-            self._cached_index = self._service.shard_index(
-                self._shard_manager.num_shards
+        now = self._engine.now
+        index = self._ts_dep.probe(
+            self._service.shard_index, self._shard_manager.num_shards
+        )
+        if index is not None:
+            self._index_lkg.store(index, now)
+        elif self._telemetry is not None and self._index_lkg.has_value:
+            # Task Service down: keep operating on the last-known-good
+            # snapshot (paper section IV-D) and record how stale it is.
+            self._telemetry.observe(
+                "resilience.task-manager.task-service.staleness_s",
+                self._index_lkg.age(now),
             )
-        except DegradedModeError:
-            # Task Service down: keep operating on the cached snapshot
-            # (paper section IV-D).
-            pass
         for shard_id in sorted(self.assigned_shards):
             self._reconcile_shard(shard_id)
+
+    @property
+    def _cached_index(self) -> Dict[ShardId, Dict[TaskId, TaskSpec]]:
+        """The last successfully fetched shard index (empty when never)."""
+        return self._index_lkg.get({})
 
     def _reconcile_shard(self, shard_id: ShardId) -> None:
         """Drive this shard's tasks to match the (cached) spec snapshot."""
@@ -275,12 +320,23 @@ class TaskManager:
     def _heartbeat_tick(self) -> None:
         if not self.alive:
             return
-        if self.partitioned or not self._shard_manager.available:
+        if self.partitioned:
+            # *This* container cannot reach the Shard Manager while
+            # everyone else can: fail-over may already be under way
+            # elsewhere, so the 40-second self-reboot clock must run.
             self._note_connection_failure()
             return
         try:
-            self._shard_manager.heartbeat(self.container_id)
+            self._sm_dep.call(self._shard_manager.heartbeat, self.container_id)
+        except ServiceUnavailableError:
+            # Service-level outage: no fail-over can happen anywhere, so
+            # degraded mode means "keep your shards" — rebooting here
+            # would needlessly kill healthy tasks (section IV-D).
+            self._outage_started = None
+            return
         except DegradedModeError:
+            # Reachable but our session is gone (e.g. not registered):
+            # treat as a connection failure and arm the reboot clock.
             self._note_connection_failure()
             return
         self._outage_started = None
@@ -311,15 +367,25 @@ class TaskManager:
     def _try_reconnect(self) -> None:
         if not self.alive:
             return
-        if self.partitioned or not self._shard_manager.available:
-            # Still cut off; try again on the heartbeat cadence.
-            self._engine.call_in(self._heartbeat_interval, self._try_reconnect)
+        if self.partitioned:
+            self._schedule_reconnect()
             return
-        self._shard_manager.register_container(self)
+        try:
+            self._sm_dep.call(self._shard_manager.register_container, self)
+        except DegradedModeError:
+            # Shard Manager still down; back off per the retry policy.
+            self._schedule_reconnect()
+            return
+        self._reconnect_attempts = 0
         # Whatever shards the Shard Manager still maps here are re-adopted;
         # if fail-over already moved them, this list is empty.
         for shard_id in self._shard_manager.shards_of(self.container_id):
             self.add_shard(shard_id)
+
+    def _schedule_reconnect(self) -> None:
+        delay = self._sm_dep.schedule_delay(self._reconnect_attempts)
+        self._reconnect_attempts += 1
+        self._engine.call_in(delay, self._try_reconnect)
 
     # ------------------------------------------------------------------
     # Periodic: data-plane stepping
@@ -374,7 +440,7 @@ class TaskManager:
         the task resource usage metrics and aggregates them to calculate
         the latest shard load." (section IV-B).
         """
-        if not self.alive or self.partitioned or not self._shard_manager.available:
+        if not self.alive or self.partitioned:
             return
         per_shard: Dict[ShardId, ResourceVector] = {}
         for task_id, task in self.tasks.items():
@@ -387,8 +453,17 @@ class TaskManager:
             per_shard[shard_id] = per_shard.get(
                 shard_id, ResourceVector.zero()
             ) + usage
-        for shard_id, load in per_shard.items():
-            self._shard_manager.report_shard_load(shard_id, load)
+        for shard_id, load in sorted(per_shard.items()):
+            if (
+                self._sm_dep.probe(
+                    self._shard_manager.report_shard_load, shard_id, load,
+                    default=False,
+                )
+                is False
+            ):
+                # Shard Manager unavailable: drop this report — loads are
+                # periodic, the next interval re-reports everything.
+                return
 
     # ------------------------------------------------------------------
     # Introspection

@@ -164,7 +164,7 @@ class RunningTask:
         entries = []
         for partition in self.partitions:
             offset = checkpoints.get(self.spec.job_id, partition.partition_id)
-            entries.append((partition.available(offset), partition, offset))
+            entries.append((partition.readable(offset), partition, offset))
         entries.sort(key=lambda entry: entry[0])
         remaining = len(entries)
         for available, partition, offset in entries:

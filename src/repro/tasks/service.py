@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import DegradedModeError
+from repro.errors import ServiceUnavailableError
 from repro.jobs.configs import Config
 from repro.sim.engine import Engine
 from repro.tasks.spec import TaskSpec
@@ -45,6 +45,18 @@ class TaskService:
         self._shard_index_key: Optional[tuple] = None
         #: When False the service is down; managers fall back to their own
         #: cached snapshots (degraded mode, section IV-D).
+        self.available = True
+
+    # ------------------------------------------------------------------
+    # Availability (chaos hooks)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Begin an availability window: snapshot serving raises and
+        managers run on their last-known-good snapshots."""
+        self.available = False
+
+    def recover(self) -> None:
+        """End the availability window."""
         self.available = True
 
     # ------------------------------------------------------------------
@@ -110,11 +122,11 @@ class TaskService:
     def snapshot(self) -> Dict[TaskId, TaskSpec]:
         """The full task-spec snapshot, served from cache within the TTL.
 
-        Raises :class:`DegradedModeError` when the service is down —
+        Raises :class:`ServiceUnavailableError` when the service is down —
         callers keep their previous snapshot in that case.
         """
         if not self.available:
-            raise DegradedModeError("Task Service is unavailable")
+            raise ServiceUnavailableError("Task Service is unavailable")
         now = self._engine.now
         if (
             self._cached_snapshot is not None

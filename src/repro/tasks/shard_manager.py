@@ -24,10 +24,15 @@ from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.cluster.resources import ResourceVector
-from repro.errors import DegradedModeError, PlacementError
+from repro.errors import (
+    DegradedModeError,
+    PlacementError,
+    ServiceUnavailableError,
+)
 from repro.obs.bounded import BoundedList
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.obs.trace import NULL_TRACER, TraceEvent, Tracer
+from repro.resilience import Dependency, RetryPolicy
 from repro.sim.engine import Engine, Timer
 from repro.tasks.balancer import (
     DEFAULT_BAND,
@@ -107,7 +112,9 @@ class ShardManager:
         self.rebalance_count = 0
         #: When False the Shard Manager is down: no placement changes, no
         #: failovers; Task Managers keep their shards (degraded mode).
-        self.available = True
+        #: Set through the ``available`` property so recovery resets the
+        #: heartbeat clocks (see the setter).
+        self._available = True
         #: When False, periodic rebalancing is skipped (the Fig. 7
         #: experiment toggles this).
         self.balancing_enabled = True
@@ -119,12 +126,54 @@ class ShardManager:
         self.placement_cache_enabled = True
         self._placement_cache = PlacementCache(telemetry=telemetry)
         self._timers: List[Timer] = []
+        #: Resilience edge toward the Task Managers it commands. No
+        #: breaker and no auto-retry: a timed-out DROP_SHARD/ADD_SHARD has
+        #: its own paper-mandated consequence (force-kill / fail-over),
+        #: so the edge only counts and classifies.
+        self._manager_dep = Dependency(
+            "shard-manager.task-manager",
+            clock=lambda: self._engine.now,
+            telemetry=self._telemetry,
+            retry=RetryPolicy(max_attempts=1, retry_on=()),
+        )
+
+    # ------------------------------------------------------------------
+    # Availability (chaos hooks)
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    @available.setter
+    def available(self, value: bool) -> None:
+        value = bool(value)
+        if value and not self._available:
+            # Recovery grace: every heartbeat went stale during the
+            # outage through no fault of the containers. Reset the clocks
+            # so recovery does not trigger a spurious mass fail-over;
+            # genuinely dead containers miss their next heartbeat and are
+            # detected one failover interval later.
+            now = self._engine.now
+            for container_id in self._heartbeats:
+                self._heartbeats[container_id] = now
+        self._available = value
+
+    def fail(self) -> None:
+        """Begin an availability window: heartbeats, registrations, and
+        load reports raise; placement and failovers pause."""
+        self.available = False
+
+    def recover(self) -> None:
+        """End the availability window (with heartbeat grace)."""
+        self.available = True
 
     # ------------------------------------------------------------------
     # Container registration and heartbeats
     # ------------------------------------------------------------------
     def register_container(self, manager: "TaskManager") -> None:
         """A new (or rebooted-and-reconnected) container joins the tier."""
+        if not self.available:
+            raise ServiceUnavailableError("Shard Manager is unavailable")
         self._managers[manager.container_id] = manager
         self._heartbeats[manager.container_id] = self._engine.now
 
@@ -136,12 +185,16 @@ class ShardManager:
     def heartbeat(self, container_id: ContainerId) -> None:
         """Record a Task Manager heartbeat.
 
-        Raises :class:`DegradedModeError` when the Shard Manager is down —
-        the Task Manager treats that as a connection failure and starts its
-        own 40-second timeout clock.
+        Raises :class:`ServiceUnavailableError` when the Shard Manager is
+        down — a service-level outage that affects every container
+        equally, so Task Managers keep their shards and do *not* start
+        their 40-second reboot clock. Raises plain
+        :class:`DegradedModeError` when the container is unknown — from
+        this container's point of view its session is gone, which *is*
+        the split-brain-risk case that must keep the reboot clock armed.
         """
         if not self.available:
-            raise DegradedModeError("Shard Manager is unavailable")
+            raise ServiceUnavailableError("Shard Manager is unavailable")
         if container_id not in self._managers:
             raise DegradedModeError(
                 f"container {container_id} is not registered"
@@ -161,6 +214,8 @@ class ShardManager:
     # ------------------------------------------------------------------
     def report_shard_load(self, shard_id: ShardId, load: ResourceVector) -> None:
         """Receive an aggregated shard load from a Task Manager."""
+        if not self.available:
+            raise ServiceUnavailableError("Shard Manager is unavailable")
         self.shard_loads[shard_id] = load
 
     def pin_shard_to_region(self, shard_id: ShardId, region: str) -> None:
@@ -290,7 +345,7 @@ class ShardManager:
             )
         if source_manager is not None and source_manager.alive:
             try:
-                source_manager.drop_shard(shard_id)
+                self._manager_dep.call(source_manager.drop_shard, shard_id)
             except TimeoutError:
                 # "If a DROP_SHARD request takes too long, Turbine
                 # forcefully kills the corresponding tasks."
@@ -302,7 +357,7 @@ class ShardManager:
                 # Tasks the ADD_SHARD starts parent onto this movement.
                 self._tracer.set_shard_context(shard_id, move_event)
             try:
-                destination_manager.add_shard(shard_id)
+                self._manager_dep.call(destination_manager.add_shard, shard_id)
             except TimeoutError:
                 # "... or initiates a Turbine container fail-over process."
                 self._fail_over_container(destination)

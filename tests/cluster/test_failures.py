@@ -79,6 +79,62 @@ def test_random_failures_deterministic_per_seed():
     assert run(7) != run(8)
 
 
+def test_scripted_failures_carry_label():
+    engine, cluster, injector = setup()
+    injector.schedule(
+        FailurePlan("host-0", fail_at=10.0, recover_at=20.0), label="drill"
+    )
+    engine.run_until(25.0)
+    assert [(r.kind, r.label) for r in injector.history] == [
+        ("fail", "drill"), ("recover", "drill"),
+    ]
+
+
+def test_random_failures_carry_label():
+    engine, cluster, injector = setup()
+    injector.enable_random_failures(
+        mean_time_between_failures=100.0, mean_time_to_recover=50.0,
+        label="storm-drill",
+    )
+    engine.run_until(2000.0)
+    assert injector.history
+    assert all(r.label == "storm-drill" for r in injector.history)
+
+
+def test_random_failure_label_defaults():
+    engine, cluster, injector = setup()
+    injector.enable_random_failures(100.0, 50.0)
+    engine.run_until(2000.0)
+    assert injector.history
+    assert all(r.label == "random-failures" for r in injector.history)
+
+
+def test_fail_now_and_recover_now_record_label():
+    engine, cluster, injector = setup()
+    injector.fail_now("host-2", label="chaos:shard-manager-outage")
+    assert not cluster.hosts["host-2"].alive
+    injector.recover_now("host-2", label="chaos:shard-manager-outage")
+    assert cluster.hosts["host-2"].alive
+    assert [r.label for r in injector.history] == [
+        "chaos:shard-manager-outage"
+    ] * 2
+
+
+def test_labels_render_in_timeline():
+    """The label must survive into the merged operator timeline."""
+    from repro import Turbine
+    from repro.ops.timeline import IncidentTimeline
+
+    platform = Turbine.create(num_hosts=2, seed=3)
+    platform.start()
+    platform.failures.schedule(
+        FailurePlan("host-1", fail_at=30.0), label="gc-drill"
+    )
+    platform.run_for(minutes=2)
+    events = IncidentTimeline(platform).events(kinds=["host-fail"])
+    assert any(e.detail == "host-1 [gc-drill]" for e in events)
+
+
 def test_invalid_mtbf_rejected():
     engine, cluster, injector = setup()
     with pytest.raises(ValueError):

@@ -84,6 +84,46 @@ def test_different_seed_differs():
     assert a != b, "different seeds must explore different trajectories"
 
 
+class TestChaosScenarioDeterminism:
+    """Golden chaos replays: same scenario + same seed ⇒ byte-identical
+    incident timelines and deterministic telemetry exports.
+
+    This is the property the CI determinism sweep enforces across seeds;
+    resilience counters (``resilience.*``), chaos bookkeeping
+    (``chaos.*``), and skipped-round counts are all deterministic
+    instruments, so they must agree bit for bit too.
+    """
+
+    def test_same_seed_byte_identical_chaos_runs(self):
+        from repro.chaos import run_scenario
+
+        first = run_scenario("job-store-outage", seed=7)
+        second = run_scenario("job-store-outage", seed=7)
+        assert first.mttr == second.mttr
+        assert first.timeline_text == second.timeline_text
+        assert first.telemetry_jsonl == second.telemetry_jsonl
+        assert first.timeline_text, "timeline export must not be empty"
+        assert "resilience." in first.telemetry_jsonl
+
+    def test_syncer_crash_replay_identical(self):
+        from repro.chaos import run_scenario
+
+        first = run_scenario("syncer-crash", seed=11)
+        second = run_scenario("syncer-crash", seed=11)
+        assert first.timeline_text == second.timeline_text
+        assert first.telemetry_jsonl == second.telemetry_jsonl
+
+    def test_different_seed_differs_somewhere(self):
+        from repro.chaos import run_scenario
+
+        a = run_scenario("job-store-outage", seed=7)
+        b = run_scenario("job-store-outage", seed=8)
+        assert (
+            a.timeline_text != b.timeline_text
+            or a.telemetry_jsonl != b.telemetry_jsonl
+        ), "different seeds must explore different trajectories"
+
+
 class TestPlacementCacheTransparency:
     """The decision cache must be invisible to every observable output.
 

@@ -75,8 +75,8 @@ def test_window_filters():
     late = timeline.events(since=cut)
     assert all(event.time <= cut for event in early)
     assert all(event.time >= cut for event in late)
-    assert any(event.detail == "host-0" for event in early)
-    assert any(event.detail == "host-1" for event in late)
+    assert any(event.detail == "host-0 [scripted]" for event in early)
+    assert any(event.detail == "host-1 [scripted]" for event in late)
 
 
 def test_render_is_tabular():

@@ -1,0 +1,232 @@
+"""Unit tests for the shared resilience policy kit."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, DegradedModeError
+from repro.obs.telemetry import Telemetry
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    Dependency,
+    LastKnownGood,
+    RetryPolicy,
+)
+from repro.sim import SeededRng
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+def test_retry_delay_grows_exponentially():
+    policy = RetryPolicy(base_delay=2.0, multiplier=3.0, max_delay=1000.0)
+    assert policy.delay(0) == 2.0
+    assert policy.delay(1) == 6.0
+    assert policy.delay(2) == 18.0
+
+
+def test_retry_delay_caps_at_max():
+    policy = RetryPolicy(base_delay=10.0, multiplier=10.0, max_delay=50.0)
+    assert policy.delay(5) == 50.0
+
+
+def test_retry_jitter_is_deterministic_per_rng():
+    policy = RetryPolicy(base_delay=10.0, jitter=0.5)
+    a = policy.delay(0, rng=SeededRng(7))
+    b = policy.delay(0, rng=SeededRng(7))
+    assert a == b
+    assert 5.0 <= a <= 15.0
+    assert policy.delay(0, rng=SeededRng(8)) != a
+
+
+def test_retry_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+def test_breaker_opens_after_threshold():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=30.0)
+    for __ in range(2):
+        breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED
+    breaker.record_failure(now=0.0)
+    assert breaker.state == OPEN
+    assert breaker.times_opened == 1
+    assert not breaker.allows(now=10.0)
+
+
+def test_breaker_half_opens_after_timeout_and_closes_on_success():
+    breaker = CircuitBreaker(failure_threshold=1, reset_timeout=30.0)
+    breaker.record_failure(now=0.0)
+    assert not breaker.allows(now=29.0)
+    assert breaker.allows(now=30.0)   # the probe goes through
+    assert breaker.state == HALF_OPEN
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allows(now=31.0)
+
+
+def test_breaker_half_open_failure_reopens_immediately():
+    breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0)
+    for __ in range(3):
+        breaker.record_failure(now=0.0)
+    assert breaker.allows(now=10.0)
+    breaker.record_failure(now=10.0)  # one probe failure suffices
+    assert breaker.state == OPEN
+    assert breaker.times_opened == 2
+    assert not breaker.allows(now=15.0)
+
+
+def test_breaker_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# LastKnownGood
+# ----------------------------------------------------------------------
+def test_lkg_empty_then_stored():
+    lkg = LastKnownGood()
+    assert not lkg.has_value
+    assert lkg.get(default="fallback") == "fallback"
+    assert lkg.age(now=100.0) == float("inf")
+    lkg.store({"a": 1}, now=50.0)
+    assert lkg.has_value
+    assert lkg.get() == {"a": 1}
+    assert lkg.age(now=80.0) == 30.0
+
+
+# ----------------------------------------------------------------------
+# Dependency
+# ----------------------------------------------------------------------
+def make_dep(**kwargs):
+    clock = Clock()
+    telemetry = Telemetry(enabled=True)
+    dep = Dependency("edge", clock=clock, telemetry=telemetry, **kwargs)
+    return dep, clock, telemetry
+
+
+def counter(telemetry, what):
+    return telemetry.counters.get(f"resilience.edge.{what}", 0.0)
+
+
+def test_call_passes_through_and_counts():
+    dep, __, telemetry = make_dep()
+    assert dep.call(lambda x: x + 1, 41) == 42
+    assert counter(telemetry, "calls") == 1
+    assert dep.last_error is None
+
+
+def test_call_retries_degraded_failures_synchronously():
+    dep, __, telemetry = make_dep(retry=RetryPolicy(max_attempts=3))
+    outcomes = [DegradedModeError("a"), DegradedModeError("b"), "ok"]
+
+    def flaky():
+        result = outcomes.pop(0)
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    assert dep.call(flaky) == "ok"
+    assert counter(telemetry, "calls") == 3
+    assert counter(telemetry, "retries") == 2
+    assert counter(telemetry, "unavailable") == 2
+
+
+def test_call_raises_when_retries_exhausted():
+    dep, __, telemetry = make_dep(retry=RetryPolicy(max_attempts=2))
+
+    def always_down():
+        raise DegradedModeError("down")
+
+    with pytest.raises(DegradedModeError):
+        dep.call(always_down)
+    assert counter(telemetry, "calls") == 2
+    assert counter(telemetry, "unavailable") == 2
+    assert isinstance(dep.last_error, DegradedModeError)
+
+
+def test_call_does_not_retry_unexpected_errors():
+    dep, __, telemetry = make_dep(retry=RetryPolicy(max_attempts=3))
+    calls = []
+
+    def broken():
+        calls.append(1)
+        raise ValueError("bug")
+
+    with pytest.raises(ValueError):
+        dep.call(broken)
+    assert len(calls) == 1
+    assert counter(telemetry, "failures") == 1
+
+
+def test_breaker_short_circuits_and_half_open_probe_recovers():
+    dep, clock, telemetry = make_dep(
+        breaker=CircuitBreaker(failure_threshold=2, reset_timeout=30.0)
+    )
+
+    def down():
+        raise DegradedModeError("down")
+
+    for __ in range(2):
+        with pytest.raises(DegradedModeError):
+            dep.call(down)
+    assert counter(telemetry, "breaker_opened") == 1
+    # While open: short-circuited without touching the service.
+    with pytest.raises(CircuitOpenError):
+        dep.call(lambda: "never called")
+    assert counter(telemetry, "short_circuits") == 1
+    # After the reset timeout the next call is the probe.
+    clock.now = 30.0
+    assert dep.call(lambda: "recovered") == "recovered"
+    assert dep.breaker.state == CLOSED
+
+
+def test_probe_returns_default_and_counts_fallbacks():
+    dep, __, telemetry = make_dep()
+
+    def down():
+        raise DegradedModeError("down")
+
+    assert dep.probe(down, default="cached") == "cached"
+    assert counter(telemetry, "fallbacks") == 1
+    assert dep.probe(lambda: "live") == "live"
+
+
+def test_probe_swallows_open_breaker():
+    dep, __, __tel = make_dep(
+        breaker=CircuitBreaker(failure_threshold=1, reset_timeout=300.0)
+    )
+    with pytest.raises(DegradedModeError):
+        dep.call(lambda: (_ for _ in ()).throw(DegradedModeError("x")))
+    assert dep.probe(lambda: "ignored", default=None) is None
+
+
+def test_schedule_delay_uses_policy():
+    dep, __, __tel = make_dep(
+        retry=RetryPolicy(base_delay=5.0, multiplier=2.0)
+    )
+    assert dep.schedule_delay(0) == 5.0
+    assert dep.schedule_delay(2) == 20.0
+
+
+def test_counters_are_deterministic_instruments():
+    from repro.obs.telemetry import is_deterministic_instrument
+
+    for what in ("calls", "retries", "unavailable", "failures",
+                 "short_circuits", "breaker_opened", "fallbacks"):
+        assert is_deterministic_instrument(f"resilience.edge.{what}")

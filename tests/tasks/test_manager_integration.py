@@ -203,12 +203,62 @@ class TestDegradedModes:
             platform, JobSpec(job_id="job", input_category="cat", task_count=4)
         )
         platform.shard_manager.available = False
-        # Managers reboot after the 40 s timeout but keep retrying; when the
-        # Shard Manager returns, they re-adopt their shards.
+        # A Shard Manager *outage* is announced (ServiceUnavailableError),
+        # so managers keep their shards and tasks — no reboot clock runs
+        # (paper IV-C: "containers continue running tasks").
         platform.run_for(minutes=2)
         platform.shard_manager.available = True
         platform.run_for(minutes=3)
         assert len(platform.tasks_of_job("job")) == 4
+
+    def test_shard_manager_outage_nonfatal_heartbeats(self):
+        """Regression: heartbeat failures against a *down* Shard Manager
+        must be non-fatal. Managers keep shards through an outage far
+        longer than the 40 s connection timeout, never reboot, and the
+        recovery grace period prevents spurious mass fail-over."""
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        shards_before = {
+            cid: set(m.assigned_shards)
+            for cid, m in platform.task_managers.items()
+        }
+        platform.shard_manager.fail()
+        platform.run_for(minutes=10)  # 15x the connection timeout
+        assert len(platform.tasks_of_job("job")) == 4, (
+            "tasks must keep running through a Shard Manager outage"
+        )
+        assert all(
+            m.reboot_count == 0 for m in platform.task_managers.values()
+        ), "an announced outage must not start the reboot clock"
+        assert {
+            cid: set(m.assigned_shards)
+            for cid, m in platform.task_managers.items()
+        } == shards_before
+        platform.shard_manager.recover()
+        platform.run_for(minutes=3)
+        assert not platform.shard_manager.failover_events, (
+            "recovery grace must prevent spurious fail-over of live "
+            "containers whose heartbeats were blocked by the outage"
+        )
+        assert len(platform.tasks_of_job("job")) == 4
+
+    def test_unregistered_heartbeat_still_runs_reboot_clock(self):
+        """The other half of the split: a *connection*-level failure
+        (manager unknown to a live Shard Manager) still reboots after
+        the 40 s timeout — the IV-C protocol is unchanged."""
+        platform = small_platform()
+        provision_and_settle(
+            platform, JobSpec(job_id="job", input_category="cat", task_count=8)
+        )
+        victim = next(
+            manager for manager in platform.task_managers.values()
+            if manager.running_task_ids()
+        )
+        victim.partitioned = True
+        platform.run_for(minutes=5)
+        assert victim.reboot_count >= 1
 
     def test_job_admission_halt_leaves_running_jobs(self):
         from repro.errors import DegradedModeError

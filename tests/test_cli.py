@@ -122,6 +122,57 @@ def test_trace_unknown_job_reports_empty(capsys):
     assert "no trace events" in out
 
 
+def test_chaos_list_enumerates_scenarios(capsys):
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("job-store-outage", "syncer-crash", "shard-manager-outage",
+                 "task-service-staleness", "metric-gap",
+                 "scribe-partition-loss"):
+        assert name in out
+
+
+def test_chaos_runs_scenario_and_reports_mttr(capsys):
+    assert main(["chaos", "job-store-outage", "--seed", "7",
+                 "--max-mttr", "180"]) == 0
+    out = capsys.readouterr().out
+    assert "mttr (s)" in out
+    assert "converged: yes" in out
+
+
+def test_chaos_max_mttr_bound_fails_when_exceeded(capsys):
+    assert main(["chaos", "job-store-outage", "--seed", "7",
+                 "--max-mttr", "1"]) == 1
+    err = capsys.readouterr().err
+    assert "exceeds" in err
+
+
+def test_chaos_unknown_scenario_errors(capsys):
+    assert main(["chaos", "not-a-scenario"]) == 2
+    assert "unknown chaos scenario" in capsys.readouterr().err
+
+
+def test_chaos_exports_timeline_and_telemetry(capsys, tmp_path):
+    timeline_path = tmp_path / "timeline.txt"
+    telemetry_path = tmp_path / "telemetry.jsonl"
+    assert main(["chaos", "metric-gap", "--seed", "3",
+                 "--timeline-out", str(timeline_path),
+                 "--telemetry-out", str(telemetry_path)]) == 0
+    assert "chaos" in timeline_path.read_text()
+    lines = telemetry_path.read_text().splitlines()
+    assert lines
+    assert any("chaos.faults_injected" in json.loads(line).get("name", "")
+               for line in lines)
+
+
+def test_chaos_mttr_table_renders():
+    from repro.chaos import mttr_table
+
+    text = mttr_table(["metric-gap"], [0, 1])
+    assert "metric-gap" in text
+    assert "seed 0" in text and "seed 1" in text
+    assert "0.0" in text
+
+
 def test_missing_command_errors():
     with pytest.raises(SystemExit):
         main([])
