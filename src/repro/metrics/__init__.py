@@ -7,15 +7,25 @@ section V-A; the pattern analyzer "records per minute workload metrics
 during the last 14 days", section V-C). This package provides the
 time-series store those components read and the aggregation helpers
 (means, percentiles, CDFs) the experiments report.
+
+The store is a streaming metrics engine: ring-buffer series storage with
+lazy compaction, O(1)-amortized incremental trailing-window aggregates,
+coarse rollup tiers for long-horizon reads, a histogram-sketch percentile
+path behind a declared tolerance, and a batched ingestion fast path —
+all byte-identical to the naive rescan paths they replace (and provably
+so: the golden determinism suite runs the platform with streaming on and
+off and compares every decision bit for bit).
 """
 
 from repro.metrics.aggregate import cdf_points, mean, percentile, stdev
 from repro.metrics.series import TimeSeries
+from repro.metrics.sketch import HistogramSketch
 from repro.metrics.store import MetricStore
 
 __all__ = [
     "TimeSeries",
     "MetricStore",
+    "HistogramSketch",
     "mean",
     "stdev",
     "percentile",

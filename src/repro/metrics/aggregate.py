@@ -2,46 +2,86 @@
 
 Implemented from scratch (no numpy dependency in the library itself) so the
 core package stays dependency-free; the benchmarks may use numpy for plots.
+
+``mean`` and ``stdev`` are single-pass (Welford) implementations: they
+consume any iterable without materializing it and without a second pass.
+Welford's update accumulates ``(v - m) / n`` corrections instead of a raw
+sum, so results can differ from the old two-pass formulas in the last few
+ulps — callers treat both as approximate (the paper's imbalance measure,
+report tables); nothing keys byte-exact behaviour off them.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.metrics.sketch import HistogramSketch
+
+#: Below this many values the exact sort is cheaper than building a
+#: sketch, so a declared tolerance is ignored.
+SKETCH_MIN_VALUES = 64
 
 
 def mean(values: Iterable[float]) -> float:
-    """Arithmetic mean; 0.0 for an empty input (convenient for metrics)."""
-    values = list(values)
-    if not values:
-        return 0.0
-    return sum(values) / len(values)
+    """Arithmetic mean; 0.0 for an empty input (convenient for metrics).
+
+    Single pass, streaming-friendly: works on any iterable.
+    """
+    count = 0
+    running = 0.0
+    for value in values:
+        count += 1
+        running += (value - running) / count
+    return running if count else 0.0
 
 
 def stdev(values: Iterable[float]) -> float:
     """Population standard deviation; 0.0 for fewer than two values.
 
     The paper uses the standard deviation of per-task processing rates to
-    measure imbalanced input (section V-A).
+    measure imbalanced input (section V-A). Welford's single-pass update
+    replaces the old two-pass sum-of-squared-deviations: one traversal,
+    no list materialization, and better conditioning for large means.
     """
-    values = list(values)
-    if len(values) < 2:
+    count = 0
+    running_mean = 0.0
+    m2 = 0.0
+    for value in values:
+        count += 1
+        delta = value - running_mean
+        running_mean += delta / count
+        m2 += delta * (value - running_mean)
+    if count < 2:
         return 0.0
-    mu = mean(values)
-    return math.sqrt(sum((value - mu) ** 2 for value in values) / len(values))
+    return math.sqrt(max(0.0, m2) / count)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(
+    values: Sequence[float], q: float, tolerance: Optional[float] = None
+) -> float:
     """The ``q``-th percentile (0–100) with linear interpolation.
 
     Matches numpy's default ("linear") method so benchmark output is
     comparable with standard tooling.
+
+    ``tolerance`` is the exactness flag: ``None`` (the default) always
+    sorts and interpolates exactly. Callers that declare a relative error
+    tolerance (reports, balancer summaries) get the O(n) histogram-sketch
+    path instead of the O(n log n) sort once the input is large enough to
+    matter; see :class:`repro.metrics.sketch.HistogramSketch` for the
+    error contract.
     """
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100]: {q}")
-    ordered = sorted(values)
-    if not ordered:
+    if not values:
         raise ValueError("percentile of empty sequence")
+    if tolerance is not None and len(values) >= SKETCH_MIN_VALUES:
+        sketch = HistogramSketch(tolerance)
+        for value in values:
+            sketch.add(value)
+        return sketch.percentile(q)
+    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)

@@ -1,0 +1,145 @@
+"""Coarse time-bucketed rollups for long-retention series.
+
+The pattern analyzer keeps 14 days of per-minute input rates and rereads
+them on every downscale decision — max over a 4-hour window per lookback
+day, means over 30-minute windows (paper section V-C). Scanning raw
+samples makes each of those reads O(window); a rollup tier pre-aggregates
+the series into fixed, clock-aligned buckets (5 minutes by default) so a
+historical read touches O(window / bucket) bucket summaries plus the few
+raw samples at the window's ragged edges.
+
+Exactness: each bucket stores its sample count, its max, and its sum as a
+Shewchuk expansion (see :mod:`repro.metrics.window`). Combining bucket
+expansions with the edge samples into one accumulator and rounding once
+yields the correctly rounded sum of the raw window — bit-identical to
+``math.fsum`` over the raw slice — and max is exact under any regrouping.
+
+A bucket is only served while every sample it absorbed is still retained
+by the raw series; buckets that straddle the retention horizon are
+dropped and their surviving raw tail is read directly. This keeps rollup
+reads equal to what a raw rescan of the *retained* samples would return.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from typing import List, Optional, Tuple
+
+from repro.metrics.window import exact_add
+
+#: Default bucket width: 5 minutes, five of the paper's per-minute samples.
+DEFAULT_ROLLUP_PERIOD: float = 300.0
+
+#: Serve a read from the rollup tier only when it spans at least this many
+#: whole buckets; narrower reads scan raw samples (cheaper than edge
+#: bookkeeping, and trailing-window reads are already O(1) incremental).
+MIN_ROLLUP_BUCKETS = 2
+
+
+class RollupTier:
+    """Clock-aligned ``(count, exact-sum, max)`` buckets of one series."""
+
+    __slots__ = ("period", "_starts", "_counts", "_sums", "_maxes")
+
+    def __init__(self, period: float = DEFAULT_ROLLUP_PERIOD) -> None:
+        if period <= 0:
+            raise ValueError(f"rollup period must be positive: {period}")
+        self.period = period
+        self._starts: List[float] = []
+        self._counts: List[int] = []
+        #: Per-bucket Shewchuk expansions of the exact bucket sum.
+        self._sums: List[List[float]] = []
+        self._maxes: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def bucket_start(self, time: float) -> float:
+        """The clock-aligned start of the bucket covering ``time``."""
+        return math.floor(time / self.period) * self.period
+
+    # ------------------------------------------------------------------
+    # Maintenance (driven by TimeSeries on its append path)
+    # ------------------------------------------------------------------
+    def add(self, time: float, value: float) -> None:
+        """Absorb one sample (times arrive in non-decreasing order)."""
+        start = self.bucket_start(time)
+        if self._starts and start <= self._starts[-1]:
+            index = len(self._starts) - 1
+            self._counts[index] += 1
+            exact_add(self._sums[index], value)
+            if value > self._maxes[index]:
+                self._maxes[index] = value
+        else:
+            self._starts.append(start)
+            self._counts.append(1)
+            self._sums.append([value])
+            self._maxes.append(value)
+
+    def trim_before(self, first_live_time: float) -> None:
+        """Drop buckets that include any sample older than the retained raw.
+
+        A bucket starting before the first retained raw sample may carry
+        evicted samples in its aggregates; it can no longer be served
+        exactly, so it is dropped whole (its retained remainder is read
+        raw).
+        """
+        cut = bisect_left(self._starts, first_live_time)
+        if cut:
+            del self._starts[:cut]
+            del self._counts[:cut]
+            del self._sums[:cut]
+            del self._maxes[:cut]
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def covering(self, start: float, end: float) -> Optional[Tuple[int, int]]:
+        """Bucket index range ``[b_lo, b_hi)`` fully inside ``[start, end]``.
+
+        A bucket covers sample times ``[bs, bs + period)``; it is usable
+        for the inclusive window iff ``bs >= start`` and
+        ``bs + period <= end``. Returns ``None`` when fewer than
+        ``MIN_ROLLUP_BUCKETS`` qualify.
+        """
+        starts = self._starts
+        b_lo = bisect_left(starts, start)
+        b_hi = bisect_right(starts, end - self.period)
+        # Float subtraction can misplace the boundary by one; fix up.
+        while b_hi < len(starts) and starts[b_hi] + self.period <= end:
+            b_hi += 1
+        while b_hi > b_lo and starts[b_hi - 1] + self.period > end:
+            b_hi -= 1
+        if b_hi - b_lo < MIN_ROLLUP_BUCKETS:
+            return None
+        return b_lo, b_hi
+
+    def range_bounds(self, b_lo: int, b_hi: int) -> Tuple[float, float]:
+        """``(first_bucket_start, last_bucket_end)`` of a covering range."""
+        return self._starts[b_lo], self._starts[b_hi - 1] + self.period
+
+    def accumulate(
+        self, b_lo: int, b_hi: int, acc: List[float]
+    ) -> Tuple[int, Optional[float]]:
+        """Fold buckets ``[b_lo, b_hi)`` into ``acc``, a flat float list.
+
+        ``math.fsum`` does not need its inputs non-overlapping — it
+        correctly rounds the exact real sum of whatever floats it is
+        given — so bucket expansions are simply concatenated onto ``acc``
+        rather than merged term by term; the caller rounds once at the
+        end. Count and max fold with the C builtins over the parallel
+        lists. Returns ``(sample_count, max_value)``.
+        """
+        if b_hi <= b_lo:
+            return 0, None
+        extend = acc.extend
+        for partials in self._sums[b_lo:b_hi]:
+            extend(partials)
+        return (
+            sum(self._counts[b_lo:b_hi]),
+            max(self._maxes[b_lo:b_hi]),
+        )
+
+    def __repr__(self) -> str:
+        return f"RollupTier(period={self.period}, buckets={len(self)})"

@@ -1,95 +1,350 @@
-"""A single time series with retention and windowed queries."""
+"""A single time series: ring storage, retention, and windowed queries.
+
+Samples must arrive in non-decreasing time order (the simulation clock
+guarantees this). Storage is an index-offset ring: trimming past the
+retention horizon advances a head index instead of front-deleting the
+backing lists, and the dead prefix is compacted away only once it is both
+long and at least as large as the live data — O(1) amortized per append
+instead of O(n).
+
+On top of the ring sit three streaming read paths, all gated by the
+``streaming`` flag and all byte-identical to a naive rescan of the
+retained samples (the golden and hypothesis suites enforce this):
+
+* **trailing windows** (``average_over`` / ``max_over``) are served by
+  per-duration :class:`~repro.metrics.window.WindowAggregate` rolling
+  states — O(1) amortized instead of O(window);
+* **historical ranges** (``aggregate_between`` and friends, what the
+  14-day pattern analyzer reads) are served from the coarse
+  :class:`~repro.metrics.rollup.RollupTier` buckets plus raw edges;
+* **windowed percentiles** with a declared tolerance are served from a
+  :class:`~repro.metrics.sketch.HistogramSketch` maintained alongside the
+  window state; without a tolerance the exact sorting path runs.
+"""
 
 from __future__ import annotations
 
-import bisect
-from typing import List, Optional, Tuple
+import math
+from bisect import bisect_left, bisect_right
+from typing import Dict, List, Optional, Tuple
 
-from repro.metrics.aggregate import mean
+from repro.metrics.aggregate import percentile
+from repro.metrics.rollup import DEFAULT_ROLLUP_PERIOD, RollupTier
+from repro.metrics.sketch import HistogramSketch
+from repro.metrics.window import WindowAggregate
 from repro.types import Seconds
+
+#: Module default for the streaming read paths; stores pass their own.
+STREAMING_DEFAULT = True
+
+#: Compact the ring only when the dead prefix reaches this length *and*
+#: is at least as long as the live suffix (amortized O(1) per append).
+COMPACT_MIN = 64
+
+#: Series retaining more than this automatically grow a rollup tier
+#: (the pattern analyzer's 14-day series; the 2-day default stays raw).
+ROLLUP_AUTO_RETENTION: Seconds = 3 * 24 * 3600.0
 
 
 class TimeSeries:
-    """Append-only ``(time, value)`` samples with a retention horizon.
+    """Append-only ``(time, value)`` samples with a retention horizon."""
 
-    Samples must arrive in non-decreasing time order (the simulation clock
-    guarantees this). Old samples beyond ``retention`` are trimmed lazily on
-    append, bounding memory for long runs — the pattern analyzer keeps 14
-    days, everything else far less.
-    """
-
-    def __init__(self, retention: Optional[Seconds] = None) -> None:
+    def __init__(
+        self,
+        retention: Optional[Seconds] = None,
+        streaming: Optional[bool] = None,
+        rollup_period: Optional[Seconds] = None,
+        telemetry=None,
+    ) -> None:
         if retention is not None and retention <= 0:
             raise ValueError(f"retention must be positive: {retention}")
         self.retention = retention
+        self.streaming = STREAMING_DEFAULT if streaming is None else streaming
         self._times: List[Seconds] = []
         self._values: List[float] = []
+        #: Physical index of the first live (retained) sample.
+        self._head = 0
+        #: Absolute index of physical position 0 — the count of samples
+        #: compacted away — so window state survives compactions.
+        self._abs0 = 0
+        #: Per-duration rolling window states, created lazily on read.
+        self._aggs: Dict[float, WindowAggregate] = {}
+        #: Rollups are maintained on the append path whenever configured
+        #: (cheap: one exact-add into the newest bucket) and *served* only
+        #: while streaming is on, so toggling never leaves them stale.
+        if rollup_period is not None:
+            self._rollup: Optional[RollupTier] = RollupTier(rollup_period)
+        elif retention is not None and retention > ROLLUP_AUTO_RETENTION:
+            self._rollup = RollupTier(DEFAULT_ROLLUP_PERIOD)
+        else:
+            self._rollup = None
+        self._telemetry = telemetry
+        #: Introspection counters (see MetricStore telemetry publishing).
+        self.window_queries = 0
+        self.window_fast = 0
+        self.rollup_reads = 0
+        self.compactions = 0
 
     def __len__(self) -> int:
-        return len(self._times)
+        return len(self._times) - self._head
 
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
     def record(self, time: Seconds, value: float) -> None:
         """Append a sample at ``time``."""
-        if self._times and time < self._times[-1]:
+        times = self._times
+        if times and time < times[-1]:
             raise ValueError(
-                f"samples must be time-ordered: {time} < {self._times[-1]}"
+                f"samples must be time-ordered: {time} < {times[-1]}"
             )
-        self._times.append(time)
-        self._values.append(float(value))
+        value = float(value)
+        times.append(time)
+        self._values.append(value)
+        if self._rollup is not None:
+            self._rollup.add(time, value)
         self._trim(time)
 
     def _trim(self, now: Seconds) -> None:
         if self.retention is None:
             return
         horizon = now - self.retention
-        cut = bisect.bisect_left(self._times, horizon)
-        if cut:
-            del self._times[:cut]
-            del self._values[:cut]
+        head = self._head
+        new_head = bisect_left(self._times, horizon, head)
+        if new_head == head:
+            return
+        # Let the streaming state subtract what it is about to lose while
+        # the values are still addressable; the just-appended sample is
+        # always live, so a live tail exists.
+        if self._aggs:
+            cut_abs = self._abs0 + new_head
+            for agg in self._aggs.values():
+                agg.forget_before(cut_abs, self._values, self._abs0)
+        if self._rollup is not None:
+            self._rollup.trim_before(self._times[new_head])
+        self._head = new_head
+        if new_head >= COMPACT_MIN and new_head * 2 >= len(self._times):
+            del self._times[:new_head]
+            del self._values[:new_head]
+            self._abs0 += new_head
+            self._head = 0
+            self.compactions += 1
 
     # ------------------------------------------------------------------
-    # Queries
+    # Point queries
     # ------------------------------------------------------------------
     def latest(self) -> Optional[float]:
         """The most recent value, or ``None`` if empty."""
-        return self._values[-1] if self._values else None
+        return self._values[-1] if len(self._times) > self._head else None
 
     def latest_time(self) -> Optional[Seconds]:
         """The most recent sample time, or ``None`` if empty."""
-        return self._times[-1] if self._times else None
+        return self._times[-1] if len(self._times) > self._head else None
 
     def window(self, start: Seconds, end: Seconds) -> List[Tuple[Seconds, float]]:
         """Samples with ``start <= time <= end``."""
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_right(self._times, end)
+        lo = bisect_left(self._times, start, self._head)
+        hi = bisect_right(self._times, end, self._head)
         return list(zip(self._times[lo:hi], self._values[lo:hi]))
 
     def values_in(self, start: Seconds, end: Seconds) -> List[float]:
         """Just the values with ``start <= time <= end``."""
-        lo = bisect.bisect_left(self._times, start)
-        hi = bisect.bisect_right(self._times, end)
+        lo = bisect_left(self._times, start, self._head)
+        hi = bisect_right(self._times, end, self._head)
         return self._values[lo:hi]
+
+    def all_points(self) -> List[Tuple[Seconds, float]]:
+        """Every retained sample (mostly for reports and tests)."""
+        head = self._head
+        return list(zip(self._times[head:], self._values[head:]))
+
+    # ------------------------------------------------------------------
+    # Trailing-window queries (the scaler/balancer hot path)
+    # ------------------------------------------------------------------
+    def _window_agg(self, duration: Seconds, now: Seconds) -> Optional[WindowAggregate]:
+        """The up-to-date rolling state for this trailing window, or
+        ``None`` when the query cannot be served incrementally (empty
+        series, ``now`` behind the newest sample, or a window start that
+        moved backwards)."""
+        n = len(self._times)
+        if n == self._head or now < self._times[-1]:
+            return None
+        start = now - duration
+        agg = self._aggs.get(duration)
+        if agg is None:
+            # Seed a cold aggregate at the window's left edge so the first
+            # read costs O(window), not O(ring) (ingesting the whole ring
+            # just to evict most of it again).
+            pos = bisect_left(self._times, start, self._head)
+            agg = WindowAggregate(duration, self._abs0 + pos)
+            self._aggs[duration] = agg
+        elif start < agg.last_start:
+            return None
+        agg.ingest(self._values, self._abs0, n)
+        agg.advance(self._times, self._values, self._abs0, start)
+        return agg
+
+    def _note_window_read(self, fast: bool) -> None:
+        self.window_queries += 1
+        if fast:
+            self.window_fast += 1
+        if self._telemetry is not None:
+            self._telemetry.inc(
+                "metrics.window.fast" if fast else "metrics.window.fallback"
+            )
 
     def average_over(self, duration: Seconds, now: Seconds) -> Optional[float]:
         """Mean of samples in the trailing ``duration`` window, or ``None``.
 
         This implements readings like "average memory over the last 10
-        minutes" (paper section IV-B) and "average input rate in the last 30
-        minutes" (section V-C).
+        minutes" (paper section IV-B) and "average input rate in the last
+        30 minutes" (section V-C). Both paths divide the correctly
+        rounded window sum by the count, so they agree bit for bit.
         """
+        if self.streaming:
+            agg = self._window_agg(duration, now)
+            if agg is not None:
+                self._note_window_read(fast=True)
+                if agg.count == 0:
+                    return None
+                return agg.sum() / agg.count
+        self._note_window_read(fast=False)
         values = self.values_in(now - duration, now)
         if not values:
             return None
-        return mean(values)
+        return math.fsum(values) / len(values)
 
     def max_over(self, duration: Seconds, now: Seconds) -> Optional[float]:
         """Max of samples in the trailing window, or ``None`` (peak usage)."""
+        if self.streaming:
+            agg = self._window_agg(duration, now)
+            if agg is not None:
+                self._note_window_read(fast=True)
+                return agg.max() if agg.count else None
+        self._note_window_read(fast=False)
         values = self.values_in(now - duration, now)
         return max(values) if values else None
 
-    def all_points(self) -> List[Tuple[Seconds, float]]:
-        """Every retained sample (mostly for reports and tests)."""
-        return list(zip(self._times, self._values))
+    def percentile_over(
+        self,
+        duration: Seconds,
+        now: Seconds,
+        q: float,
+        tolerance: Optional[float] = None,
+    ) -> Optional[float]:
+        """The ``q``-th percentile of the trailing window, or ``None``.
+
+        With ``tolerance=None`` the exact sorting path runs. Declaring a
+        tolerance opts into the histogram sketch (relative error bound
+        ``tolerance``; see :mod:`repro.metrics.sketch`) — the sketch is
+        maintained incrementally alongside the window state, and because
+        its integer bucket counts add/remove symmetrically, the streaming
+        and rescan answers are identical.
+        """
+        if tolerance is None:
+            values = self.values_in(now - duration, now)
+            return percentile(values, q) if values else None
+        if self.streaming:
+            agg = self._window_agg(duration, now)
+            if agg is not None:
+                self._note_window_read(fast=True)
+                if agg.sketch is None or agg.sketch.alpha != tolerance:
+                    sketch = HistogramSketch(tolerance)
+                    abs0 = self._abs0
+                    for v in self._values[agg.lo - abs0:agg.hi - abs0]:
+                        sketch.add(v)
+                    agg.sketch = sketch
+                if agg.count == 0:
+                    return None
+                return agg.sketch.percentile(q)
+        self._note_window_read(fast=False)
+        values = self.values_in(now - duration, now)
+        if not values:
+            return None
+        sketch = HistogramSketch(tolerance)
+        for v in values:
+            sketch.add(v)
+        return sketch.percentile(q)
+
+    # ------------------------------------------------------------------
+    # Historical-range queries (the pattern analyzer's 14-day reads)
+    # ------------------------------------------------------------------
+    def aggregate_between(
+        self, start: Seconds, end: Seconds
+    ) -> Tuple[float, int, Optional[float]]:
+        """``(sum, count, max)`` over ``start <= time <= end``.
+
+        The sum is the correctly rounded (``math.fsum``) sum of the
+        window's values on both the rollup-backed and the raw path, so
+        the two agree bit for bit; max is exact under regrouping.
+        """
+        times, values = self._times, self._values
+        lo = bisect_left(times, start, self._head)
+        hi = bisect_right(times, end, self._head)
+        if hi <= lo:
+            return 0.0, 0, None
+        rollup = self._rollup
+        if self.streaming and rollup is not None and len(rollup):
+            cov = rollup.covering(start, end)
+            if cov is not None:
+                b_lo, b_hi = cov
+                first_bs, last_end = rollup.range_bounds(b_lo, b_hi)
+                left_hi = bisect_left(times, first_bs, self._head)
+                right_lo = bisect_left(times, last_end, self._head)
+                # Flat accumulator: raw edge values plus the buckets'
+                # expansion terms, correctly rounded by one fsum below.
+                acc: List[float] = values[lo:left_hi]
+                edge_max = max(acc, default=None)
+                bucket_count, bucket_max = rollup.accumulate(b_lo, b_hi, acc)
+                count = (left_hi - lo) + bucket_count + (hi - right_lo)
+                right = values[right_lo:hi]
+                acc.extend(right)
+                max_value = max(
+                    (
+                        m for m in (
+                            edge_max, bucket_max, max(right, default=None)
+                        )
+                        if m is not None
+                    ),
+                    default=None,
+                )
+                self.rollup_reads += 1
+                if self._telemetry is not None:
+                    self._telemetry.inc("metrics.rollup.reads")
+                return math.fsum(acc), count, max_value
+        chunk = values[lo:hi]
+        return math.fsum(chunk), hi - lo, max(chunk)
+
+    def mean_between(self, start: Seconds, end: Seconds) -> Optional[float]:
+        """Mean over ``start <= time <= end``, or ``None`` if empty."""
+        total, count, _ = self.aggregate_between(start, end)
+        return total / count if count else None
+
+    def max_between(self, start: Seconds, end: Seconds) -> Optional[float]:
+        """Max over ``start <= time <= end``, or ``None`` if empty."""
+        return self.aggregate_between(start, end)[2]
+
+    def count_between(self, start: Seconds, end: Seconds) -> int:
+        """Number of samples with ``start <= time <= end``."""
+        return self.aggregate_between(start, end)[1]
+
+    # ------------------------------------------------------------------
+    # Engine control
+    # ------------------------------------------------------------------
+    def set_streaming(self, enabled: bool) -> None:
+        """Switch the streaming read paths on or off.
+
+        Rolling window states are discarded on any toggle — they are
+        rebuilt lazily on the next read, so a series toggled off and back
+        on never serves stale state.
+        """
+        if enabled == self.streaming:
+            return
+        self.streaming = enabled
+        self._aggs.clear()
 
     def __repr__(self) -> str:
-        return f"TimeSeries(samples={len(self)}, retention={self.retention})"
+        return (
+            f"TimeSeries(samples={len(self)}, retention={self.retention}, "
+            f"streaming={self.streaming})"
+        )

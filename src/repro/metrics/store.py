@@ -4,11 +4,18 @@ Entities are free-form strings — job ids, task ids, container ids, host ids
 — so one store serves every layer. Series are created on first write with
 the store's default retention; callers with special needs (the pattern
 analyzer's 14 days) pass an explicit retention at creation.
+
+At fleet scale the store is on the simulation's hottest path, so it keeps
+two inverted indexes — entity → metrics and metric → entities — updated on
+series creation/deletion, making ``entities_with`` and ``drop_entity``
+O(answer) instead of O(all series), and offers :meth:`record_many`, the
+batched ingestion path the task managers and collectors use to land one
+coalesced sample set per engine event instead of one store call per task.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.metrics.series import TimeSeries
 from repro.types import Seconds
@@ -21,9 +28,24 @@ DEFAULT_RETENTION: Seconds = 2 * 24 * 3600.0
 class MetricStore:
     """All time series in one cluster."""
 
-    def __init__(self, default_retention: Seconds = DEFAULT_RETENTION) -> None:
+    def __init__(
+        self,
+        default_retention: Seconds = DEFAULT_RETENTION,
+        streaming: bool = True,
+        telemetry=None,
+    ) -> None:
         self.default_retention = default_retention
+        #: Whether new (and toggled) series use the streaming read paths;
+        #: flip with :meth:`set_streaming` for golden on/off comparisons.
+        self.streaming = streaming
         self._series: Dict[Tuple[str, str], TimeSeries] = {}
+        #: Inverted indexes: entity -> metric names, metric -> entities.
+        self._entity_index: Dict[str, Set[str]] = {}
+        self._metric_index: Dict[str, Set[str]] = {}
+        #: Optional telemetry sink (duck-typed ``.inc``); mechanism
+        #: counters live under the ``metrics.*`` namespace, which the
+        #: deterministic telemetry export excludes.
+        self._telemetry = telemetry
         #: When False the ingestion path is down: writes are dropped (a
         #: gap appears in every series) while reads keep serving whatever
         #: was recorded before — the realistic shape of a metric-store
@@ -31,6 +53,9 @@ class MetricStore:
         self.available = True
         #: Samples dropped while unavailable (for reports and tests).
         self.dropped_points = 0
+        #: Ingestion counters (introspection and benchmarks).
+        self.samples_ingested = 0
+        self.batches_ingested = 0
 
     def fail(self) -> None:
         """Begin an availability window: ingestion drops samples."""
@@ -40,6 +65,9 @@ class MetricStore:
         """End the availability window."""
         self.available = True
 
+    # ------------------------------------------------------------------
+    # Series lifecycle
+    # ------------------------------------------------------------------
     def series(
         self,
         entity: str,
@@ -48,37 +76,123 @@ class MetricStore:
     ) -> TimeSeries:
         """The series for ``(entity, metric)``, created on first use."""
         key = (entity, metric)
-        if key not in self._series:
-            self._series[key] = TimeSeries(
-                retention if retention is not None else self.default_retention
-            )
-        return self._series[key]
+        existing = self._series.get(key)
+        if existing is not None:
+            return existing
+        created = TimeSeries(
+            retention if retention is not None else self.default_retention,
+            streaming=self.streaming,
+            telemetry=self._telemetry,
+        )
+        self._series[key] = created
+        self._entity_index.setdefault(entity, set()).add(metric)
+        self._metric_index.setdefault(metric, set()).add(entity)
+        return created
 
+    def drop_entity(self, entity: str) -> None:
+        """Forget every series of a deleted entity (O(its own series))."""
+        metrics = self._entity_index.pop(entity, None)
+        if not metrics:
+            return
+        for metric in metrics:
+            del self._series[(entity, metric)]
+            entities = self._metric_index.get(metric)
+            if entities is not None:
+                entities.discard(entity)
+                if not entities:
+                    del self._metric_index[metric]
+
+    def entities_with(self, metric: str) -> List[str]:
+        """All entities that have ever reported ``metric`` (sorted)."""
+        return sorted(self._metric_index.get(metric, ()))
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
     def record(self, entity: str, metric: str, time: Seconds, value: float) -> None:
         """Append one sample (silently dropped while unavailable)."""
         if not self.available:
             self.dropped_points += 1
             return
         self.series(entity, metric).record(time, value)
+        self.samples_ingested += 1
 
+    def record_many(
+        self, time: Seconds, samples: Iterable[Tuple[str, str, float]]
+    ) -> int:
+        """Append a batch of ``(entity, metric, value)`` samples at ``time``.
+
+        The batched fast path: one availability check and one telemetry
+        update for the whole batch, series resolved straight off the key
+        dict. Callers coalesce per-entity sampling — a task manager lands
+        all of its tasks' samples for one step in a single call. Returns
+        the number of samples ingested (0 while unavailable).
+        """
+        if not self.available:
+            self.dropped_points += sum(1 for _ in samples)
+            return 0
+        get = self._series.get
+        count = 0
+        for entity, metric, value in samples:
+            existing = get((entity, metric))
+            if existing is None:
+                existing = self.series(entity, metric)
+            existing.record(time, value)
+            count += 1
+        self.samples_ingested += count
+        self.batches_ingested += 1
+        if self._telemetry is not None and count:
+            self._telemetry.inc("metrics.ingest.batches")
+            self._telemetry.inc("metrics.ingest.samples", count)
+        return count
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
     def latest(self, entity: str, metric: str) -> Optional[float]:
         """Most recent value, or ``None`` if the series is empty/missing."""
-        key = (entity, metric)
-        if key not in self._series:
-            return None
-        return self._series[key].latest()
+        existing = self._series.get((entity, metric))
+        return None if existing is None else existing.latest()
 
-    def entities_with(self, metric: str) -> List[str]:
-        """All entities that have ever reported ``metric`` (sorted)."""
-        return sorted(
-            entity for entity, name in self._series if name == metric
-        )
+    # ------------------------------------------------------------------
+    # Engine control
+    # ------------------------------------------------------------------
+    def set_streaming(self, enabled: bool) -> None:
+        """Toggle the streaming read paths store-wide (existing series too).
 
-    def drop_entity(self, entity: str) -> None:
-        """Forget every series of a deleted entity."""
-        stale = [key for key in self._series if key[0] == entity]
-        for key in stale:
-            del self._series[key]
+        Reads are byte-identical either way; the toggle exists so the
+        golden determinism suite can prove exactly that.
+        """
+        self.streaming = enabled
+        for series in self._series.values():
+            series.set_streaming(enabled)
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a telemetry sink to the store and its existing series."""
+        self._telemetry = telemetry
+        for series in self._series.values():
+            series._telemetry = telemetry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def read_stats(self) -> Dict[str, int]:
+        """Aggregate per-series read/maintenance counters (for reports)."""
+        stats = {
+            "series": len(self._series),
+            "samples_ingested": self.samples_ingested,
+            "batches_ingested": self.batches_ingested,
+            "window_queries": 0,
+            "window_fast": 0,
+            "rollup_reads": 0,
+            "compactions": 0,
+        }
+        for series in self._series.values():
+            stats["window_queries"] += series.window_queries
+            stats["window_fast"] += series.window_fast
+            stats["rollup_reads"] += series.rollup_reads
+            stats["compactions"] += series.compactions
+        return stats
 
     def __repr__(self) -> str:
         return f"MetricStore(series={len(self._series)})"

@@ -1,0 +1,164 @@
+"""Incremental trailing-window aggregates with exact arithmetic.
+
+The control loops read the metric store through a small number of
+*trailing* windows ("average memory over the last 10 minutes", "max input
+rate over the last 4 hours") whose anchor — the simulation clock — only
+moves forward. That makes the classic sliding-window shape apply: keep a
+rolling sum/count plus a monotonic max-deque per registered window, add
+samples as they arrive, evict samples as the window's left edge passes
+them, and every read is O(1) amortized instead of O(window).
+
+The subtle part is *byte-identity*. The naive path computes a window mean
+as ``math.fsum(values) / len(values)``; ``fsum`` returns the correctly
+rounded sum of the window's values, i.e. a pure function of the window
+*multiset*. To return the very same bits without rescanning, the rolling
+sum is kept as a Shewchuk expansion — a list of non-overlapping floats
+whose exact real sum equals the exact real sum of the window. Adding a
+sample and evicting one (adding its negation) are both exact operations
+on the expansion, so ``fsum(partials)`` is the correctly rounded sum of
+the current window — bit-for-bit what the naive rescan produces. No
+drift, ever, regardless of how many samples have passed through.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.metrics.sketch import HistogramSketch
+
+
+def exact_add(partials: List[float], x: float) -> None:
+    """Add ``x`` into a Shewchuk expansion, in place, exactly.
+
+    ``partials`` remains a list of non-overlapping floats whose real sum
+    is exactly the real sum of everything ever added. This is the
+    accumulation loop of ``math.fsum`` (Shewchuk's grow-expansion with
+    zero elimination); unlike a plain float accumulator it loses nothing,
+    which is what makes eviction-by-negation exact.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+class WindowAggregate:
+    """Rolling sum/count/max (and optional sketch) for one trailing window.
+
+    Sample positions are tracked as *absolute* indexes — the number of
+    samples ever appended to the series before them — so the state
+    survives the series' ring-buffer compactions, which only shift
+    physical positions. ``[lo, hi)`` is the absolute index range currently
+    inside the window; ``count`` falls out as ``hi - lo`` because the
+    window is contiguous.
+    """
+
+    __slots__ = ("duration", "lo", "hi", "partials", "maxes", "last_start", "sketch")
+
+    def __init__(self, duration: float, start_abs: int) -> None:
+        self.duration = duration
+        self.lo = start_abs
+        self.hi = start_abs
+        #: Shewchuk expansion of the exact window sum.
+        self.partials: List[float] = []
+        #: Monotonic deque of ``(abs_index, value)``, values decreasing.
+        self.maxes: Deque[Tuple[int, float]] = deque()
+        #: Left edge of the last served query; queries whose window start
+        #: moves backwards cannot be served incrementally.
+        self.last_start = float("-inf")
+        #: Lazily attached when a toleranced percentile is first read.
+        self.sketch: Optional[HistogramSketch] = None
+
+    @property
+    def count(self) -> int:
+        return self.hi - self.lo
+
+    # ------------------------------------------------------------------
+    # Maintenance (driven by TimeSeries)
+    # ------------------------------------------------------------------
+    def ingest(self, values: List[float], abs0: int, n: int) -> None:
+        """Absorb physical samples ``[hi - abs0, n)`` into the window."""
+        partials, maxes, sketch = self.partials, self.maxes, self.sketch
+        for i in range(self.hi - abs0, n):
+            v = values[i]
+            exact_add(partials, v)
+            while maxes and maxes[-1][1] <= v:
+                maxes.pop()
+            maxes.append((abs0 + i, v))
+            if sketch is not None:
+                sketch.add(v)
+        self.hi = abs0 + n
+
+    def advance(
+        self, times: List[float], values: List[float], abs0: int, start: float
+    ) -> None:
+        """Evict samples whose time is strictly before ``start``."""
+        partials, sketch = self.partials, self.sketch
+        j = self.lo - abs0
+        end = self.hi - abs0
+        while j < end and times[j] < start:
+            v = values[j]
+            exact_add(partials, -v)
+            if sketch is not None:
+                sketch.remove(v)
+            j += 1
+        self.lo = abs0 + j
+        maxes = self.maxes
+        while maxes and maxes[0][0] < self.lo:
+            maxes.popleft()
+        if self.lo == self.hi:
+            # Empty window: the expansion's real value is exactly zero;
+            # reset it so round-off residue cannot accumulate structure.
+            partials.clear()
+        self.last_start = start
+
+    def forget_before(
+        self, cut_abs: int, values: List[float], abs0: int
+    ) -> None:
+        """Retention eviction: samples below ``cut_abs`` are being trimmed.
+
+        Called *before* the series drops them, while their values are
+        still addressable, so the rolling state can subtract exactly what
+        the naive path will no longer see.
+        """
+        if self.hi <= cut_abs:
+            # Nothing ingested survives the cut; restart empty at the cut.
+            self.lo = self.hi = cut_abs
+            self.partials.clear()
+            self.maxes.clear()
+            if self.sketch is not None:
+                self.sketch.clear()
+            return
+        if self.lo >= cut_abs:
+            return
+        partials, sketch = self.partials, self.sketch
+        for i in range(self.lo - abs0, cut_abs - abs0):
+            v = values[i]
+            exact_add(partials, -v)
+            if sketch is not None:
+                sketch.remove(v)
+        self.lo = cut_abs
+        maxes = self.maxes
+        while maxes and maxes[0][0] < cut_abs:
+            maxes.popleft()
+        if self.lo == self.hi:
+            partials.clear()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def sum(self) -> float:
+        """Correctly rounded sum of the current window (exact, not drifted)."""
+        return math.fsum(self.partials)
+
+    def max(self) -> float:
+        return self.maxes[0][1]

@@ -33,7 +33,7 @@ DEFAULT_BUCKETS = (
 def is_deterministic_instrument(name: str) -> bool:
     """Whether an instrument is reproducible across same-seed runs.
 
-    Two families are excluded from deterministic exports:
+    Three families are excluded from deterministic exports:
 
     * wall-clock measurements — by convention every such instrument name
       ends in ``_ms`` — which are real ``perf_counter`` readings and vary
@@ -41,9 +41,17 @@ def is_deterministic_instrument(name: str) -> bool:
     * ``cache.*`` instruments, which describe *how* the control plane
       computed a decision (dirty-set sizes, decision-cache hits), not
       what it decided. They legitimately differ between a cached and an
-      uncached run of the same seed, while everything else must not.
+      uncached run of the same seed, while everything else must not;
+    * ``metrics.*`` instruments — the streaming metrics engine's
+      self-observation (fast-window hits, rollup reads, batch sizes),
+      which likewise differs between a streaming and a naive run whose
+      every *decision* agrees bit for bit.
     """
-    return not (name.endswith("_ms") or name.startswith("cache."))
+    return not (
+        name.endswith("_ms")
+        or name.startswith("cache.")
+        or name.startswith("metrics.")
+    )
 
 
 @dataclass

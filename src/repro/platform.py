@@ -79,6 +79,10 @@ class PlatformConfig:
     load_report_interval: Seconds = LOAD_REPORT_INTERVAL
     stats_interval: Seconds = COLLECT_INTERVAL
     record_task_metrics: bool = False
+    #: Streaming metrics engine (incremental window aggregates, rollup
+    #: tiers). Reads are byte-identical either way; the toggle exists for
+    #: the golden on/off determinism suite and A/B benchmarks.
+    metrics_streaming: bool = True
 
 
 class Turbine:
@@ -94,12 +98,13 @@ class Turbine:
         self.cluster = cluster
         self.config = config or PlatformConfig()
         self.scribe = ScribeBus()
-        self.metrics = MetricStore()
+        self.metrics = MetricStore(streaming=self.config.metrics_streaming)
         self.failures = FailureInjector(engine, cluster)
 
         # --- Observability (off by default; see enable_tracing) -------
         self.tracer = Tracer(clock=lambda: engine.now)
         self.telemetry = Telemetry(enabled=False)
+        self.metrics.set_telemetry(self.telemetry)
 
         # --- Job Management -------------------------------------------
         self.job_store = JobStore()

@@ -21,8 +21,7 @@ maintained:
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.metrics.store import MetricStore
@@ -227,11 +226,13 @@ class PatternAnalyzer:
             start = now - day * 86400.0
             if start < 0:
                 break
-            rates = series.values_in(start, start + window)
-            if not rates:
+            # Rollup-backed historical read: max over the window comes
+            # from the series' coarse buckets plus raw edges (identical
+            # to a raw rescan — max is exact under regrouping).
+            peak = series.max_between(start, start + window)
+            if peak is None:
                 continue
             days_checked += 1
-            peak = max(rates)
             if peak > capacity:
                 return PatternVerdict(
                     allowed=False,
@@ -256,19 +257,24 @@ class PatternAnalyzer:
         making is disabled."
         """
         now = snapshot.time
-        recent = series.values_in(now - 1800.0, now)
-        if not recent:
+        recent_sum, recent_count, _ = series.aggregate_between(now - 1800.0, now)
+        if not recent_count:
             return False
-        recent_avg = sum(recent) / len(recent)
-        historical: list = []
+        recent_avg = recent_sum / recent_count
+        history_sum = 0.0
+        history_count = 0
         for day in range(1, self._history_days + 1):
             start = now - day * 86400.0 - 1800.0
             if start < -1800.0:
                 break
-            historical.extend(series.values_in(start, start + 1800.0))
-        if not historical:
+            # Per-window sums come pre-aggregated from the rollup tier
+            # rather than materializing 14 days of raw samples.
+            day_sum, day_count, _ = series.aggregate_between(start, start + 1800.0)
+            history_sum += day_sum
+            history_count += day_count
+        if not history_count:
             return False
-        history_avg = sum(historical) / len(historical)
+        history_avg = history_sum / history_count
         if history_avg <= 1e-9:
             return recent_avg > 1e-9
         deviation = abs(recent_avg - history_avg) / history_avg

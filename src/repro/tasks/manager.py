@@ -408,17 +408,24 @@ class TaskManager:
             )
             if desired > capacity_cpu:
                 throttle = capacity_cpu / desired
+        # Coalesced sampling: gather every task's usage samples and land
+        # them in one batched store call per step event, instead of three
+        # store round-trips per task.
+        samples = (
+            [] if self._record_task_metrics and self._metrics is not None
+            else None
+        )
         for task_id, task in self.tasks.items():
             was_running = task.state == TaskState.RUNNING
             task.step(dt, throttle=throttle)
             if was_running and task.state == TaskState.CRASHED:
                 self._handle_oom(task)
-            if self._record_task_metrics and self._metrics is not None:
-                self._metrics.record(task_id, "cpu_used", now, task.last_cpu_used)
-                self._metrics.record(
-                    task_id, "memory_gb", now, task.memory_needed_gb()
-                )
-                self._metrics.record(task_id, "rate_mb", now, task.last_rate_mb)
+            if samples is not None:
+                samples.append((task_id, "cpu_used", task.last_cpu_used))
+                samples.append((task_id, "memory_gb", task.memory_needed_gb()))
+                samples.append((task_id, "rate_mb", task.last_rate_mb))
+        if samples:
+            self._metrics.record_many(now, samples)
 
     def _handle_oom(self, task: RunningTask) -> None:
         """Read preserved OOM stats and post them to the metric system

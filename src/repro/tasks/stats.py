@@ -72,18 +72,27 @@ class JobStatsCollector:
     # One collection round
     # ------------------------------------------------------------------
     def collect_once(self) -> None:
-        """Compute and record metrics for every job with specs."""
+        """Compute and record metrics for every job with specs.
+
+        Derived job metrics are coalesced across the whole round into one
+        batched store call — one collection event lands one sample set.
+        The rate metrics each job's lag computation reads back are the
+        exception; they are recorded inline so the read sees them.
+        """
         now = self._engine.now
         dt = now - self._last_time if self._last_time is not None else None
         tasks_by_job = self._tasks_by_job()
 
+        batch: List[tuple] = []
         for job_id in self._service.job_ids():
             specs = self._service.specs_of(job_id)
             if not specs:
                 continue
             category_name = specs[0].input_category
             tasks = tasks_by_job.get(job_id, [])
-            self._collect_job(job_id, category_name, tasks, now, dt)
+            self._collect_job(job_id, category_name, tasks, now, dt, batch)
+        if batch:
+            self._metrics.record_many(now, batch)
         self._last_time = now
 
     def _collect_job(
@@ -93,8 +102,8 @@ class JobStatsCollector:
         tasks: List[RunningTask],
         now: Seconds,
         dt: Optional[Seconds],
+        batch: List[tuple],
     ) -> None:
-        record = self._metrics.record
         head = 0.0
         lagged = 0.0
         if category_name:
@@ -119,7 +128,11 @@ class JobStatsCollector:
             self._metrics.series(
                 job_id, "input_rate_mb", retention=15 * 86400.0
             ).record(now, max(0.0, input_rate))
-            record(job_id, "processing_rate_mb", now, max(0.0, processing_rate))
+            # Recorded inline (not batched): the rate-basis fallback just
+            # below reads this series back including the current sample.
+            self._metrics.record(
+                job_id, "processing_rate_mb", now, max(0.0, processing_rate)
+            )
             # Equation (1)'s denominator is what the job *can* process per
             # second. The instantaneous rate dips to zero during routine
             # restarts (package pushes, parallelism changes); using the
@@ -136,26 +149,26 @@ class JobStatsCollector:
                 time_lagged = lagged / rate_basis
             else:
                 time_lagged = INFINITE_LAG
-            record(job_id, "time_lagged", now, time_lagged)
+            batch.append((job_id, "time_lagged", time_lagged))
         self._last_heads[job_id] = head
         self._last_processed[job_id] = processed_total
 
-        record(job_id, "bytes_lagged_mb", now, lagged)
+        batch.append((job_id, "bytes_lagged_mb", lagged))
         running = [t for t in tasks if t.state == TaskState.RUNNING]
-        record(job_id, "running_tasks", now, float(len(running)))
+        batch.append((job_id, "running_tasks", float(len(running))))
         if running:
-            record(
-                job_id, "task_rate_stdev", now,
-                stdev([task.last_rate_mb for task in running]),
-            )
-            record(
-                job_id, "task_memory_max_gb", now,
+            batch.append((
+                job_id, "task_rate_stdev",
+                stdev(task.last_rate_mb for task in running),
+            ))
+            batch.append((
+                job_id, "task_memory_max_gb",
                 max(task.memory_needed_gb() for task in running),
-            )
-            record(
-                job_id, "task_cpu_mean", now,
+            ))
+            batch.append((
+                job_id, "task_cpu_mean",
                 sum(task.last_cpu_used for task in running) / len(running),
-            )
+            ))
 
     def _tasks_by_job(self) -> Dict[JobId, List[RunningTask]]:
         grouped: Dict[JobId, List[RunningTask]] = {}

@@ -14,10 +14,15 @@ from repro.scaler import AutoScalerConfig
 from repro.workloads import DiurnalPattern, TrafficDriver
 
 
-def run_busy_hour(seed, placement_cache=True, observe=False):
+def run_busy_hour(
+    seed, placement_cache=True, observe=False, metrics_streaming=True
+):
     platform = Turbine.create(
         num_hosts=4, seed=seed,
-        config=PlatformConfig(num_shards=32, containers_per_host=2),
+        config=PlatformConfig(
+            num_shards=32, containers_per_host=2,
+            metrics_streaming=metrics_streaming,
+        ),
     )
     platform.shard_manager.placement_cache_enabled = placement_cache
     if observe:
@@ -25,7 +30,10 @@ def run_busy_hour(seed, placement_cache=True, observe=False):
         platform.enable_instrumentation()
     platform.attach_scaler(AutoScalerConfig(interval=120.0))
     platform.start()
-    driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
+    driver = TrafficDriver(
+        platform.engine, platform.scribe, tick=60.0,
+        metrics=platform.metrics,
+    )
     for index in range(4):
         pattern = DiurnalPattern(
             3.0 + index, amplitude=0.3,
@@ -160,4 +168,63 @@ class TestPlacementCacheTransparency:
         cache = platform.shard_manager._placement_cache
         assert cache.hits + cache.repairs > 0, (
             "periodic rebalance rounds should be served by the cache"
+        )
+
+
+class TestStreamingMetricsTransparency:
+    """The streaming metrics engine must be invisible to every decision.
+
+    The incremental window aggregates, rollup buckets, and histogram
+    sketches are a pure read-path optimization: golden same-seed runs with
+    streaming on and off must agree on the coarse fingerprint, the
+    byte-exact causal trace, and the deterministic telemetry export.
+    Engine self-observation (``metrics.*``) and wall-clock instruments
+    (``*_ms``) legitimately differ between the two runs, which is exactly
+    why the deterministic export excludes them — see
+    :func:`repro.obs.telemetry.is_deterministic_instrument`.
+    """
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_same_seed_byte_identical_streaming_on_and_off(self, seed):
+        fp_on, exports_on = run_busy_hour(
+            seed=seed, metrics_streaming=True, observe=True
+        )
+        fp_off, exports_off = run_busy_hour(
+            seed=seed, metrics_streaming=False, observe=True
+        )
+        assert fp_on == fp_off
+        assert exports_on["trace"] == exports_off["trace"]
+        assert exports_on["telemetry"] == exports_off["telemetry"]
+
+    def test_streaming_path_actually_engaged_in_golden_run(self):
+        """Guard against the transparency test passing vacuously."""
+        platform = Turbine.create(
+            num_hosts=4, seed=101,
+            config=PlatformConfig(
+                num_shards=32, containers_per_host=2,
+                metrics_streaming=True,
+            ),
+        )
+        platform.attach_scaler(AutoScalerConfig(interval=120.0))
+        platform.start()
+        driver = TrafficDriver(
+            platform.engine, platform.scribe, tick=60.0,
+            metrics=platform.metrics,
+        )
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    rate_per_thread_mb=2.0)
+        )
+        driver.add_source(
+            "cat", DiurnalPattern(3.0, amplitude=0.3,
+                                  rng=platform.engine.rng.fork("wl")),
+        )
+        driver.start()
+        platform.run_for(hours=1)
+        stats = platform.metrics.read_stats()
+        assert stats["window_fast"] > 0, (
+            "scaler window reads should be served by incremental aggregates"
+        )
+        assert stats["batches_ingested"] > 0, (
+            "driver/stats collection should land coalesced batches"
         )
