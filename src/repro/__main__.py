@@ -4,6 +4,7 @@ Commands:
     demo        run a small end-to-end deployment and print a health report
     timeline    run an incident scenario and print the merged event timeline
     trace       print the causal decision chain for one job
+    slo         run the incident scenario and print the fleet SLO compliance table
     chaos       run a named chaos scenario and print the MTTR report
     growth      print the Fig. 1-style yearly growth table
     footprints  print the Fig. 5-style task footprint summary
@@ -71,6 +72,7 @@ def _incident_platform(seed: int, minutes: float):
     )
     platform.attach_scaler()
     platform.attach_health_reporter()
+    platform.attach_slo()
     platform.enable_tracing()
     platform.start()
     driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
@@ -113,6 +115,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.critical_path import render_critical_path
     from repro.obs.trace import Tracer, render_chain_from_events
 
     if args.input:
@@ -121,10 +124,39 @@ def cmd_trace(args: argparse.Namespace) -> int:
         except OSError as error:
             print(f"cannot read trace file: {error}", file=sys.stderr)
             return 1
-        print(render_chain_from_events(Tracer.load_jsonl(text), args.job_id))
-        return 0
+        events = Tracer.load_jsonl(text)
+    else:
+        platform = _incident_platform(args.seed, args.minutes)
+        events = list(platform.tracer.events)
+    if args.critical_path:
+        print(render_critical_path(events, args.job_id))
+    else:
+        print(render_chain_from_events(events, args.job_id))
+    return 0
+
+
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Fleet SLO compliance over the standard incident scenario."""
     platform = _incident_platform(args.seed, args.minutes)
-    print(platform.tracer.render_chain(args.job_id))
+    tracker = platform.slo
+    print(f"fleet SLO compliance at t={platform.now:.0f}s "
+          f"(seed {args.seed}):")
+    print(tracker.render())
+    if args.report_out:
+        Path(args.report_out).write_text(
+            tracker.to_json(), encoding="utf-8"
+        )
+        print(f"SLO report written to {args.report_out}")
+    if args.prom_out:
+        from repro.obs.prom import render_prometheus
+
+        Path(args.prom_out).write_text(
+            render_prometheus(
+                telemetry=platform.telemetry, slo=tracker, deterministic=True
+            ),
+            encoding="utf-8",
+        )
+        print(f"Prometheus snapshot written to {args.prom_out}")
     return 0
 
 
@@ -151,6 +183,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             result.telemetry_jsonl, encoding="utf-8"
         )
         print(f"deterministic telemetry written to {args.telemetry_out}")
+    if args.slo_out:
+        Path(args.slo_out).write_text(
+            result.slo_report_json, encoding="utf-8"
+        )
+        print(f"SLO report written to {args.slo_out}")
     if not result.converged:
         print("FAIL: scenario did not converge", file=sys.stderr)
         return 1
@@ -269,7 +306,21 @@ def main(argv=None) -> int:
     trace.add_argument("--input", metavar="FILE", default=None,
                        help="read trace JSONL (from demo --trace-out) "
                             "instead of running the incident scenario")
+    trace.add_argument("--critical-path", action="store_true",
+                       help="show the slowest causal chain and which "
+                            "layer cost the most time")
     trace.set_defaults(func=cmd_trace)
+
+    slo = sub.add_parser(
+        "slo", help="incident scenario: fleet SLO compliance table"
+    )
+    slo.add_argument("--minutes", type=float, default=40.0)
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--report-out", metavar="FILE", default=None,
+                     help="write the deterministic SLO report JSON here")
+    slo.add_argument("--prom-out", metavar="FILE", default=None,
+                     help="write a Prometheus text-format snapshot here")
+    slo.set_defaults(func=cmd_slo)
 
     chaos = sub.add_parser(
         "chaos", help="run a chaos scenario and print the MTTR report"
@@ -284,6 +335,9 @@ def main(argv=None) -> int:
                        help="write the scenario's incident timeline here")
     chaos.add_argument("--telemetry-out", metavar="FILE", default=None,
                        help="write deterministic telemetry JSONL here")
+    chaos.add_argument("--slo-out", metavar="FILE", default=None,
+                       help="write the deterministic SLO breach/budget "
+                            "report JSON here")
     chaos.set_defaults(func=cmd_chaos)
 
     growth = sub.add_parser("growth", help="Fig. 1-style growth table")

@@ -37,6 +37,13 @@ class ScenarioResult:
     final_report: Optional[InvariantReport] = None
     timeline_text: str = ""
     telemetry_jsonl: str = ""
+    #: Deterministic SLO export: budgets burned, breach windows, and
+    #: burn-rate alerts over the whole drill (canonical JSON).
+    slo_report_json: str = ""
+    #: (job, slo) → error-budget fraction burned by the end of the run.
+    budget_burned: Dict[str, float] = field(default_factory=dict)
+    #: Closed + open SLO breach windows observed during the run.
+    slo_breaches: int = 0
 
     @property
     def converged(self) -> bool:
@@ -73,6 +80,15 @@ class ScenarioResult:
                     lines.append(f"  {name}: {', '.join(values)}")
             else:
                 lines.append("final invariants: all restored")
+        if self.budget_burned:
+            worst_key = max(
+                sorted(self.budget_burned), key=lambda k: self.budget_burned[k]
+            )
+            lines.append(
+                f"slo impact: {self.slo_breaches} breach window(s), "
+                f"worst budget burn {self.budget_burned[worst_key]:.1%} "
+                f"({worst_key})"
+            )
         lines.append(f"converged: {'yes' if self.converged else 'NO'}")
         return "\n".join(lines)
 
@@ -93,6 +109,7 @@ def build_platform(seed: int):
     )
     platform.attach_scaler()
     platform.attach_health_reporter()
+    platform.attach_slo()
     platform.attach_chaos()
     platform.enable_tracing()
     platform.enable_instrumentation()
@@ -139,6 +156,14 @@ def run_scenario(
 
     result.timeline_text = IncidentTimeline(platform).render(since=started_at)
     result.telemetry_jsonl = platform.telemetry.to_jsonl(deterministic=True)
+    if platform.slo is not None:
+        slo_report = platform.slo.report(platform.now)
+        result.slo_report_json = platform.slo.to_json(platform.now)
+        result.budget_burned = {
+            f"{row['job']}/{row['slo']}": row["budget_burned"]
+            for row in slo_report["slos"]
+        }
+        result.slo_breaches = len(slo_report["breach_windows"])
     return result
 
 

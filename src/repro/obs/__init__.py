@@ -14,11 +14,36 @@ side:
   plane itself (timer firings, callback wall-clock cost, sync-round batch
   sizes, balancer round cost, event-queue depth), kept separate from the
   simulated data-plane metric store.
+* :mod:`repro.obs.sli` / :mod:`repro.obs.slo` — the SLO plane: per-job
+  service-level indicators derived from the streaming metric store, and
+  declarative objectives with error budgets, breach windows, and
+  Google-SRE multi-window burn-rate alerts.
+* :mod:`repro.obs.critical_path` — longest-path analysis over causal
+  traces ("which layer cost the most").
+* :mod:`repro.obs.prom` — Prometheus text-format exposition of telemetry
+  and SLO state.
 
-Both are zero-cost when disabled and record passively: no RNG draws, no
-extra simulation events, so enabling them never perturbs an experiment.
+All of it is zero-cost when disabled and records passively: no RNG
+draws, no extra simulation events, so enabling observability never
+perturbs an experiment.
 """
 
+from repro.obs.critical_path import (
+    CriticalPath,
+    critical_paths,
+    layer_costs,
+    render_critical_path,
+)
+from repro.obs.prom import render_prometheus
+from repro.obs.sli import FleetCounts, SliEvaluator
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    BreachWindow,
+    BurnRateRule,
+    SloSpec,
+    SloTracker,
+    default_slo_specs,
+)
 from repro.obs.telemetry import (
     NULL_TELEMETRY,
     EngineInstrumentation,
@@ -35,4 +60,17 @@ __all__ = [
     "NULL_TELEMETRY",
     "EngineInstrumentation",
     "is_deterministic_instrument",
+    "SliEvaluator",
+    "FleetCounts",
+    "SloSpec",
+    "SloTracker",
+    "BurnRateRule",
+    "BreachWindow",
+    "DEFAULT_BURN_RULES",
+    "default_slo_specs",
+    "CriticalPath",
+    "critical_paths",
+    "layer_costs",
+    "render_critical_path",
+    "render_prometheus",
 ]

@@ -1,0 +1,182 @@
+"""Service-level indicators derived from the streaming metric store.
+
+An SLI is a *judged* signal: not "what is the lag" but "is the lag the
+kind of number the fleet promised its users". This module derives the
+per-job indicators the SLO plane (:mod:`repro.obs.slo`) and the health
+reporter (:mod:`repro.ops.health`) consume, and it is the only place
+those judgements are computed — the health reporter's fleet percentages
+are sums of the per-job verdicts here, never a second inline aggregation.
+
+Every read goes through the PR 5 streaming paths (``latest``,
+``average_over`` / ``count_between`` — WindowAggregate and RollupTier
+under the hood); nothing here rescans raw samples, so evaluating the
+whole fleet once a minute stays O(jobs), not O(jobs × samples).
+
+The defined per-job SLIs:
+
+* ``lag_seconds`` — the newest ``time_lagged`` sample: how far behind
+  real time the job's processing is (paper equation 1);
+* ``freshness_seconds`` — age of the newest ``processing_rate_mb``
+  sample: how stale the job's *measurements* are. A metric-store outage
+  shows up here (gray degradation: the job may be fine, but nobody can
+  tell);
+* ``availability`` — running tasks / expected tasks, capped at 1.0;
+* ``oom_rate`` — OOM events in the trailing
+  :data:`OOM_WINDOW` (restart/quarantine pressure).
+
+Evaluating an SLI draws no randomness and schedules no events, so SLI
+values are byte-identical across same-seed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.metrics.store import MetricStore
+from repro.types import JobId, JobState, Seconds
+
+#: The trailing window in which an OOM event counts against a job —
+#: the same 10 minutes the health reporter has always used.
+OOM_WINDOW: Seconds = 600.0
+
+#: Per-job lag objective when the job's config does not declare one.
+DEFAULT_LAG_SLO: Seconds = 90.0
+
+#: The per-job SLI names :meth:`SliEvaluator.job_sli` can evaluate.
+SLI_NAMES = ("lag_seconds", "freshness_seconds", "availability", "oom_rate")
+
+
+@dataclass(frozen=True)
+class FleetCounts:
+    """Fleet-level SLI aggregation (the health report's input)."""
+
+    jobs_total: int = 0
+    jobs_lagging: int = 0
+    jobs_quarantined: int = 0
+    jobs_with_oom: int = 0
+
+    @property
+    def pct_lagging(self) -> float:
+        return self.jobs_lagging / self.jobs_total if self.jobs_total else 0.0
+
+    @property
+    def pct_unhealthy(self) -> float:
+        if not self.jobs_total:
+            return 0.0
+        return (self.jobs_quarantined + self.jobs_with_oom) / self.jobs_total
+
+
+class SliEvaluator:
+    """Derives per-job and fleet SLIs from the live services.
+
+    Holds only references (job service + metric store); every call
+    evaluates against the store's current state. A Job Store outage
+    propagates as :class:`~repro.errors.DegradedModeError` from the
+    config reads — callers (health reporter, SLO tracker) decide whether
+    to skip the round or degrade, exactly as they did before this layer
+    existed.
+    """
+
+    def __init__(self, job_service, metrics: MetricStore) -> None:
+        self._service = job_service
+        self._metrics = metrics
+        #: Evaluation counter (introspection; deterministic).
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Job enumeration and objectives
+    # ------------------------------------------------------------------
+    def job_ids(self) -> List[JobId]:
+        """All managed jobs (sorted; raises while the store is down)."""
+        return self._service.job_ids()
+
+    def lag_slo_seconds(self, job_id: JobId) -> float:
+        """The job's declared lag objective (or :data:`DEFAULT_LAG_SLO`)."""
+        return self._service.expected_config(job_id).get("slo", {}).get(
+            "max_lag_seconds", DEFAULT_LAG_SLO
+        )
+
+    def quarantined(self, job_id: JobId) -> bool:
+        return self._service.store.state_of(job_id) == JobState.QUARANTINED
+
+    def running(self, job_id: JobId) -> bool:
+        return self._service.store.state_of(job_id) == JobState.RUNNING
+
+    # ------------------------------------------------------------------
+    # Per-job SLIs
+    # ------------------------------------------------------------------
+    def lag_seconds(self, job_id: JobId) -> Optional[float]:
+        """Newest ``time_lagged`` sample, or ``None`` before first stats."""
+        return self._metrics.latest(job_id, "time_lagged")
+
+    def freshness_seconds(self, job_id: JobId, now: Seconds) -> Optional[float]:
+        """Age of the newest processing-rate sample (measurement staleness)."""
+        series = self._metrics.series(job_id, "processing_rate_mb")
+        newest = series.latest_time()
+        return None if newest is None else max(0.0, now - newest)
+
+    def availability(self, job_id: JobId) -> Optional[float]:
+        """Running tasks over expected tasks, in ``[0, 1]``.
+
+        ``None`` before the first stats round (no ``running_tasks``
+        sample yet) or when the expected task count is not positive.
+        """
+        running = self._metrics.latest(job_id, "running_tasks")
+        if running is None:
+            return None
+        expected = self._service.expected_config(job_id).get("task_count", 0)
+        if not expected or expected <= 0:
+            return None
+        return min(1.0, running / float(expected))
+
+    def oom_rate(self, job_id: JobId, now: Seconds) -> float:
+        """OOM events in the trailing :data:`OOM_WINDOW` (count)."""
+        series = self._metrics.series(job_id, "oom_events")
+        return float(series.count_between(now - OOM_WINDOW, now))
+
+    def job_sli(self, job_id: JobId, name: str, now: Seconds) -> Optional[float]:
+        """Evaluate one named SLI for one job (``None`` = no data yet)."""
+        self.evaluations += 1
+        if name == "lag_seconds":
+            return self.lag_seconds(job_id)
+        if name == "freshness_seconds":
+            return self.freshness_seconds(job_id, now)
+        if name == "availability":
+            return self.availability(job_id)
+        if name == "oom_rate":
+            return self.oom_rate(job_id, now)
+        raise ValueError(f"unknown SLI {name!r} (known: {', '.join(SLI_NAMES)})")
+
+    # ------------------------------------------------------------------
+    # Fleet aggregation (the health reporter's percentages)
+    # ------------------------------------------------------------------
+    def fleet_counts(self, now: Seconds) -> FleetCounts:
+        """Count lagging / quarantined / OOMing jobs across the fleet.
+
+        Semantics mirror the original health-report loop exactly: a job
+        counts as lagging when its newest lag sample exceeds its own
+        declared objective, and only RUNNING jobs are judged for lag and
+        OOM (a quarantined job is already counted as quarantined).
+        """
+        job_ids = self.job_ids()
+        lagging = quarantined = with_oom = 0
+        for job_id in job_ids:
+            if self.quarantined(job_id):
+                quarantined += 1
+            if not self.running(job_id):
+                continue
+            lag = self.lag_seconds(job_id) or 0.0
+            if lag > self.lag_slo_seconds(job_id):
+                lagging += 1
+            if self.oom_rate(job_id, now) > 0:
+                with_oom += 1
+        return FleetCounts(
+            jobs_total=len(job_ids),
+            jobs_lagging=lagging,
+            jobs_quarantined=quarantined,
+            jobs_with_oom=with_oom,
+        )
+
+    def __repr__(self) -> str:
+        return f"SliEvaluator(evaluations={self.evaluations})"

@@ -46,7 +46,15 @@ def is_deterministic_instrument(name: str) -> bool:
       self-observation (fast-window hits, rollup reads, batch sizes),
       which likewise differs between a streaming and a naive run whose
       every *decision* agrees bit for bit.
+
+    The SLO plane's ``slo.*``/``sli.*`` instruments are the opposite
+    case and are kept explicitly: they are derived purely from simulated
+    metrics through the (bit-identical) streaming read paths, so they
+    belong in deterministic exports — except any wall-clock ``*_ms``
+    member of those families, which stays excluded by the first rule.
     """
+    if name.startswith(("slo.", "sli.")):
+        return not name.endswith("_ms")
     return not (
         name.endswith("_ms")
         or name.startswith("cache.")

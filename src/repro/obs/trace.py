@@ -24,9 +24,10 @@ Design constraints, in order:
 from __future__ import annotations
 
 import json
-from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.bounded import BoundedList
 
 #: Default bound on retained events; old events are evicted first. Large
 #: enough for any benchmark horizon, small enough to bound a soak test.
@@ -93,7 +94,11 @@ class Tracer:
     ) -> None:
         self.enabled = enabled
         self._clock = clock or (lambda: 0.0)
-        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
+        #: Bounded retention, same pattern as health reports/alerts: an
+        #: endless soak evicts its oldest events in amortized-O(1) chunks
+        #: while ``chain()``/``to_jsonl()`` keep working on the retained
+        #: window (a real list, so slicing and equality behave normally).
+        self.events: List[TraceEvent] = BoundedList(maxlen=max_events)
         self._span_counter = 0
         self._trace_counter = 0
         #: Hand-off slots: ``(job_id, slot) -> event``. A producer layer

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.obs.bounded import BoundedList
+from repro.obs.sli import SliEvaluator
 
 from repro.analysis.report import Table
 from repro.errors import DegradedModeError
@@ -21,7 +22,7 @@ from repro.metrics.store import MetricStore
 from repro.sim.engine import Engine, Timer
 from repro.tasks.service import TaskService
 from repro.tasks.shard_manager import ShardManager
-from repro.types import JobState, Seconds, TaskState
+from repro.types import Seconds, TaskState
 
 #: Retained reports/alerts. At the default 5-minute cadence this is a
 #: month of history — plenty for timelines, bounded for endless soaks.
@@ -107,12 +108,16 @@ class HealthReporter:
         thresholds: Optional[HealthThresholds] = None,
         interval: Seconds = 300.0,
         retention: int = DEFAULT_REPORT_RETENTION,
+        sli: Optional[SliEvaluator] = None,
     ) -> None:
         self._engine = engine
         self._service = job_service
         self._task_service = task_service
         self._shard_manager = shard_manager
         self._metrics = metrics
+        #: The SLI layer is the single source of the per-job judgements;
+        #: the reporter only adds the task/container side and thresholds.
+        self.sli = sli if sli is not None else SliEvaluator(job_service, metrics)
         self.thresholds = thresholds or HealthThresholds()
         self._interval = interval
         self.reports: List[HealthReport] = BoundedList(maxlen=retention)
@@ -134,27 +139,21 @@ class HealthReporter:
     # One round
     # ------------------------------------------------------------------
     def report(self) -> HealthReport:
-        """Build a health snapshot from the live services."""
+        """Build a health snapshot from the live services.
+
+        The job-side percentages (lagging, quarantined, OOMing) come from
+        the SLI layer's fleet aggregation — the same judgements the SLO
+        tracker burns budgets against — so a dashboard and an SLO can
+        never disagree about what "lagging" means.
+        """
         now = self._engine.now
         report = HealthReport(time=now)
 
-        job_ids = self._service.job_ids()
-        report.jobs_total = len(job_ids)
-        for job_id in job_ids:
-            state = self._service.store.state_of(job_id)
-            if state == JobState.QUARANTINED:
-                report.jobs_quarantined += 1
-            if state != JobState.RUNNING:
-                continue
-            slo = self._service.expected_config(job_id).get("slo", {}).get(
-                "max_lag_seconds", 90.0
-            )
-            lag = self._metrics.latest(job_id, "time_lagged") or 0.0
-            if lag > slo:
-                report.jobs_lagging += 1
-            oom = self._metrics.series(job_id, "oom_events")
-            if oom.values_in(now - 600.0, now):
-                report.jobs_with_oom += 1
+        counts = self.sli.fleet_counts(now)
+        report.jobs_total = counts.jobs_total
+        report.jobs_lagging = counts.jobs_lagging
+        report.jobs_quarantined = counts.jobs_quarantined
+        report.jobs_with_oom = counts.jobs_with_oom
 
         report.tasks_expected = len(self._task_service_snapshot())
         managers = self._shard_manager.live_managers()

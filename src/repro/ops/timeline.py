@@ -64,6 +64,7 @@ class IncidentTimeline:
         collected.extend(self._failure_events())
         collected.extend(self._chaos_events())
         collected.extend(self._health_events())
+        collected.extend(self._slo_events())
         collected.extend(self._trace_events())
         source_set = set(sources) if sources else None
         kind_list = list(kinds) if kinds else None
@@ -178,6 +179,25 @@ class IncidentTimeline:
                           f"{alert.what} (runbook: {alert.runbook})")
             for alert in health.alerts
         ]
+
+    def _slo_events(self) -> List[TimelineEvent]:
+        """Burn-rate alerts and closed breach windows from the SLO plane."""
+        slo = getattr(self._platform, "slo", None)
+        if slo is None:
+            return []
+        events = [
+            TimelineEvent(alert.time, "slo", f"burn-{alert.severity}",
+                          f"{alert.what} (runbook: {alert.runbook})")
+            for alert in slo.alerts
+        ]
+        events.extend(
+            TimelineEvent(breach.end, "slo", "breach-closed",
+                          f"{breach.job_id} {breach.slo} "
+                          f"({breach.duration(breach.end):.0f}s)")
+            for breach in slo.breaches
+            if breach.end is not None
+        )
+        return events
 
     def _trace_events(self) -> List[TimelineEvent]:
         """Causal trace events, minus what other collectors already show."""

@@ -135,11 +135,14 @@ class Turbine:
             self.metrics, interval=self.config.stats_interval,
         )
         #: Filled in by :meth:`attach_scaler` / :meth:`attach_capacity_manager`
-        #: / :meth:`attach_health_reporter` / :meth:`attach_chaos`.
+        #: / :meth:`attach_health_reporter` / :meth:`attach_chaos` /
+        #: :meth:`attach_slo`.
         self.scaler = None
         self.capacity_manager = None
         self.health = None
         self.chaos = None
+        self.sli = None
+        self.slo = None
         self._started = False
         cluster.on_host_failure.append(self._on_host_failure)
 
@@ -176,10 +179,41 @@ class Turbine:
             self.engine, self.job_service, self.task_service,
             self.shard_manager, self.metrics,
             thresholds=thresholds, interval=interval,
+            sli=self._sli_evaluator(),
         )
         if self._started:
             self.health.start()
         return self.health
+
+    def _sli_evaluator(self):
+        """The one shared SLI evaluator (health + SLO plane agree)."""
+        if self.sli is None:
+            from repro.obs.sli import SliEvaluator
+
+            self.sli = SliEvaluator(self.job_service, self.metrics)
+        return self.sli
+
+    def attach_slo(self, specs=None, rules=None, interval=60.0):
+        """Attach the SLO plane: SLI judgements, error budgets, alerts.
+
+        Evaluation is passive (reads metrics, writes its own private
+        bookkeeping store) so attaching it never perturbs the
+        simulation; like the other optional subsystems it is imported
+        lazily and started with the platform.
+        """
+        from repro.obs.slo import DEFAULT_BURN_RULES, SloTracker
+
+        self.slo = SloTracker(
+            self.engine, self._sli_evaluator(),
+            specs=specs,
+            rules=rules if rules is not None else DEFAULT_BURN_RULES,
+            interval=interval,
+            telemetry=self.telemetry,
+            streaming=self.config.metrics_streaming,
+        )
+        if self._started:
+            self.slo.start()
+        return self.slo
 
     def attach_chaos(self):
         """Attach the deterministic control-plane chaos engine.
@@ -244,6 +278,8 @@ class Turbine:
             self.capacity_manager.start()
         if self.health is not None:
             self.health.start()
+        if self.slo is not None:
+            self.slo.start()
 
     def _spawn_manager(self, container) -> TaskManager:
         manager = TaskManager(

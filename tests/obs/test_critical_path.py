@@ -1,0 +1,112 @@
+"""Unit tests for trace critical-path analysis."""
+
+from repro.obs.critical_path import (
+    CriticalPath,
+    PathStep,
+    critical_paths,
+    layer_costs,
+    render_critical_path,
+)
+from repro.obs.trace import TraceEvent
+
+
+def event(trace, span, parent, time, source, kind="step", job=None):
+    return TraceEvent(
+        trace_id=trace, span_id=span, parent_id=parent, time=time,
+        source=source, kind=kind, job_id=job,
+    )
+
+
+def branching_trace():
+    """One root with a fast branch (+5 s) and a slow branch (+20+30 s)."""
+    return [
+        event("T1", "s1", None, 100.0, "detector", job="job"),
+        event("T1", "s2", "s1", 105.0, "auto-scaler", job="job"),
+        event("T1", "s3", "s1", 120.0, "job-store", job="job"),
+        event("T1", "s4", "s3", 150.0, "state-syncer", job="job"),
+    ]
+
+
+class TestLongestPath:
+    def test_picks_the_slow_branch(self):
+        paths = critical_paths(branching_trace())
+        assert len(paths) == 1
+        path = paths[0]
+        assert path.total == 50.0
+        assert [step.event.span_id for step in path.steps] == ["s1", "s3", "s4"]
+        assert [step.elapsed for step in path.steps] == [0.0, 20.0, 30.0]
+
+    def test_edges_are_layer_labels(self):
+        path = critical_paths(branching_trace())[0]
+        assert path.edges == [
+            ("detector->job-store", 20.0),
+            ("job-store->state-syncer", 30.0),
+        ]
+
+    def test_single_span_trace(self):
+        paths = critical_paths([event("T1", "s1", None, 5.0, "detector")])
+        assert paths[0].total == 0.0
+        assert len(paths[0].steps) == 1
+
+    def test_orphan_parent_treated_as_root(self):
+        # The parent span was evicted from the bounded tracer buffer:
+        # the surviving suffix must still analyze.
+        events = [
+            event("T1", "s5", "s-gone", 200.0, "state-syncer", job="job"),
+            event("T1", "s6", "s5", 260.0, "task-manager", job="job"),
+        ]
+        paths = critical_paths(events)
+        assert paths[0].total == 60.0
+        assert paths[0].steps[0].event.span_id == "s5"
+
+    def test_job_filter_selects_causal_closure(self):
+        events = branching_trace() + [
+            event("T2", "x1", None, 0.0, "detector", job="other"),
+            event("T2", "x2", "x1", 400.0, "auto-scaler", job="other"),
+        ]
+        paths = critical_paths(events, job_id="job")
+        assert [path.trace_id for path in paths] == ["T1"]
+
+    def test_first_seen_order_is_deterministic(self):
+        events = [
+            event("T2", "x1", None, 0.0, "a"),
+            event("T1", "y1", None, 0.0, "a"),
+        ]
+        assert [p.trace_id for p in critical_paths(events)] == ["T2", "T1"]
+
+
+class TestLayerCosts:
+    def test_aggregates_across_traces(self):
+        path_a = critical_paths(branching_trace())[0]
+        rows = layer_costs([path_a, path_a])
+        assert rows[0] == ("job-store->state-syncer", 60.0, 2)
+        assert rows[1] == ("detector->job-store", 40.0, 2)
+
+    def test_ties_break_by_label(self):
+        steps = (
+            PathStep(event("T1", "s1", None, 0.0, "b"), 0.0),
+            PathStep(event("T1", "s2", "s1", 10.0, "a"), 10.0),
+        )
+        other = (
+            PathStep(event("T2", "s3", None, 0.0, "a"), 0.0),
+            PathStep(event("T2", "s4", "s3", 10.0, "b"), 10.0),
+        )
+        rows = layer_costs([
+            CriticalPath("T1", steps), CriticalPath("T2", other)
+        ])
+        assert [row[0] for row in rows] == ["a->b", "b->a"]
+
+
+class TestRender:
+    def test_report_shows_slowest_chain_and_costs(self):
+        text = render_critical_path(branching_trace(), "job")
+        assert "slowest causal chain for job" in text
+        assert "50.0s end to end" in text
+        assert "job-store->state-syncer" in text
+        assert "layer costs" in text
+
+    def test_empty_selection_reports_no_events(self):
+        assert "no trace events" in render_critical_path([], "ghost")
+        assert "no trace events" in render_critical_path(
+            branching_trace(), "ghost"
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for the Prometheus text-format exposition."""
+
+from repro.obs.prom import render_prometheus, sanitize_metric_name
+from repro.obs.telemetry import Telemetry
+
+
+class TestNames:
+    def test_prefix_and_charset(self):
+        assert sanitize_metric_name("syncer.rounds") == "repro_syncer_rounds"
+        assert sanitize_metric_name("sli.fleet.jobs-total") == (
+            "repro_sli_fleet_jobs_total"
+        )
+
+    def test_leading_digit_guarded(self):
+        assert sanitize_metric_name("95th.latency").startswith("repro__95th")
+
+
+class TestTelemetrySide:
+    def test_counters_gauges_histograms(self):
+        telemetry = Telemetry()
+        telemetry.inc("syncer.rounds", 3)
+        telemetry.set_gauge("fleet.jobs", 12.0)
+        for value in (1.0, 2.0, 500.0):
+            telemetry.observe("plan.size", value)
+        text = render_prometheus(telemetry=telemetry)
+        assert "# TYPE repro_syncer_rounds_total counter" in text
+        assert "repro_syncer_rounds_total 3.0" in text
+        assert "# TYPE repro_fleet_jobs gauge" in text
+        assert "repro_fleet_jobs 12.0" in text
+        assert "# TYPE repro_plan_size histogram" in text
+        assert 'repro_plan_size_bucket{le="+Inf"} 3' in text
+        assert "repro_plan_size_count 3" in text
+        # Buckets are cumulative: every count <= the +Inf count.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_plan_size_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_deterministic_gate_drops_wall_clock_instruments(self):
+        telemetry = Telemetry()
+        telemetry.inc("syncer.rounds")
+        telemetry.inc("sync.wall_ms", 12.5)
+        telemetry.inc("cache.hits")
+        full = render_prometheus(telemetry=telemetry)
+        gated = render_prometheus(telemetry=telemetry, deterministic=True)
+        assert "wall_ms" in full and "cache_hits" in full
+        assert "wall_ms" not in gated
+        assert "cache_hits" not in gated
+        assert "repro_syncer_rounds_total" in gated
+
+
+class FakeSlo:
+    def report(self, now=None):
+        return {
+            "slos": [
+                {"job": "demo/job-0", "slo": "lag",
+                 "budget_burned": 0.25, "burn_1h": 3.5},
+            ],
+            "breach_windows": [{"job": "demo/job-0"}],
+            "alerts": [{"severity": "page"}, {"severity": "warn"}],
+        }
+
+
+class TestSloSide:
+    def test_labeled_series_and_totals(self):
+        text = render_prometheus(slo=FakeSlo())
+        assert (
+            'repro_slo_budget_burned{job="demo/job-0",slo="lag"} 0.25'
+            in text
+        )
+        assert (
+            'repro_slo_burn_rate_1h{job="demo/job-0",slo="lag"} 3.5'
+            in text
+        )
+        assert "repro_slo_breach_windows_total 1" in text
+        assert "repro_slo_alerts_total 2" in text
+
+    def test_empty_snapshot_is_empty(self):
+        assert render_prometheus() == ""

@@ -1,0 +1,233 @@
+"""Unit tests for the SLO tracker: budgets, burn rates, breach windows."""
+
+import pytest
+
+from repro.metrics.store import MetricStore
+from repro.obs.sli import SliEvaluator
+from repro.obs.slo import (
+    DEFAULT_BURN_RULES,
+    BurnRateRule,
+    SloSpec,
+    SloTracker,
+    bad_fraction,
+    burn_rate,
+    default_slo_specs,
+)
+from repro.sim.engine import Engine
+from repro.types import JobState
+
+from tests.obs.test_sli import FakeJobService
+
+
+class TestSpecValidation:
+    def test_target_must_be_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            SloSpec("x", "lag_seconds", target=1.0, compliance_window=60.0)
+        with pytest.raises(ValueError, match="target"):
+            SloSpec("x", "lag_seconds", target=0.0, compliance_window=60.0)
+
+    def test_sli_must_be_known(self):
+        with pytest.raises(ValueError, match="unknown SLI"):
+            SloSpec("x", "latency_p99", target=0.99, compliance_window=60.0)
+
+    def test_comparator_must_be_known(self):
+        with pytest.raises(ValueError, match="comparator"):
+            SloSpec("x", "lag_seconds", target=0.99,
+                    compliance_window=60.0, comparator="<")
+
+    def test_budget_fraction_and_is_good(self):
+        spec = SloSpec("x", "availability", target=0.99,
+                       compliance_window=60.0, threshold=0.9,
+                       comparator=">=")
+        assert spec.budget_fraction == pytest.approx(0.01)
+        assert spec.is_good(0.95, 0.9)
+        assert not spec.is_good(0.5, 0.9)
+
+    def test_burn_rule_windows_ordered(self):
+        with pytest.raises(ValueError, match="short window"):
+            BurnRateRule(300.0, 3600.0, 14.4, "page")
+
+    def test_default_specs_cover_every_severity_surface(self):
+        specs = default_slo_specs()
+        assert {spec.sli for spec in specs} == {
+            "lag_seconds", "freshness_seconds", "availability", "oom_rate"
+        }
+        assert all(spec.runbook for spec in specs)
+
+
+class TestBurnMath:
+    def test_bad_fraction_empty_series_is_zero(self):
+        store = MetricStore()
+        series = store.series("job", "slo_bad.lag")
+        assert bad_fraction(series, 3600.0, now=0.0) == 0.0
+
+    def test_burn_rate_scales_by_budget(self):
+        store = MetricStore()
+        series = store.series("job", "slo_bad.lag")
+        # Half the samples bad over the window.
+        for minute in range(10):
+            series.record(minute * 60.0, 1.0 if minute % 2 else 0.0)
+        now = 9 * 60.0
+        frac = bad_fraction(series, 600.0, now)
+        assert frac == pytest.approx(0.5)
+        assert burn_rate(series, 600.0, now, target=0.99) == pytest.approx(50.0)
+
+
+def build_tracker(lag_slo=90.0, rules=DEFAULT_BURN_RULES, interval=60.0):
+    """A tracker over one fake job whose lag we set per simulated minute."""
+    engine = Engine(seed=1)
+    service = FakeJobService()
+    service.add("job", {"task_count": 2, "slo": {"max_lag_seconds": lag_slo}})
+    metrics = MetricStore()
+    sli = SliEvaluator(service, metrics)
+    tracker = SloTracker(engine, sli, rules=rules, interval=interval)
+
+    lag = {"value": 0.0}
+
+    def feed():
+        metrics.record("job", "time_lagged", engine.now, lag["value"])
+        metrics.record("job", "processing_rate_mb", engine.now, 2.0)
+        metrics.record("job", "running_tasks", engine.now, 2.0)
+
+    # The feed timer is created first so it fires before the tracker's
+    # evaluation at the same timestamp (engine preserves creation order).
+    engine.every(interval, feed, name="feed")
+    tracker.start()
+    return engine, service, metrics, tracker, lag
+
+
+class TestTracker:
+    def test_good_fleet_burns_nothing(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        lag["value"] = 10.0
+        engine.run_for(1800.0)
+        assert tracker.evaluations > 0
+        assert tracker.budget_burned("job", "lag") == 0.0
+        assert tracker.breaches == []
+        assert tracker.alerts == []
+
+    def test_bad_minutes_open_and_close_breach_windows(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        lag["value"] = 10.0
+        engine.run_for(600.0)
+        lag["value"] = 500.0  # way over the 90 s objective
+        engine.run_for(300.0)
+        open_breaches = [b for b in tracker.breaches if b.open]
+        assert len(open_breaches) == 1
+        assert open_breaches[0].slo == "lag"
+        lag["value"] = 10.0
+        engine.run_for(300.0)
+        assert all(not b.open for b in tracker.breaches)
+        closed = tracker.breaches[0]
+        assert closed.duration(engine.now) > 0.0
+        assert tracker.budget_burned("job", "lag") > 0.0
+
+    def test_burn_alert_requires_both_windows(self):
+        # A rule whose short window is longer than the bad burst: the
+        # long window still burns but the short window has recovered,
+        # so the alert must NOT fire after recovery.
+        rules = (BurnRateRule(1200.0, 300.0, 10.0, "page"),)
+        engine, service, metrics, tracker, lag = build_tracker(rules=rules)
+        lag["value"] = 500.0
+        engine.run_for(300.0)
+        assert [a.severity for a in tracker.alerts] == ["page"]
+        lag["value"] = 10.0
+        engine.run_for(600.0)
+        # Long window still remembers the burst...
+        assert tracker.burn("job", "lag", 1200.0) > 10.0
+        # ...but the short window is clean, so only the original alert.
+        assert len(tracker.alerts) == 1
+
+    def test_alerts_are_edge_triggered(self):
+        rules = (BurnRateRule(1200.0, 300.0, 10.0, "page"),)
+        engine, service, metrics, tracker, lag = build_tracker(rules=rules)
+        lag["value"] = 500.0
+        engine.run_for(900.0)  # burning the whole time
+        assert len(tracker.alerts) == 1  # fired once, not once a minute
+        alert = tracker.alerts[0]
+        assert "burning" in alert.what
+        assert alert.runbook  # carries the spec's runbook hint
+
+    def test_quarantined_jobs_stop_accruing_samples(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        lag["value"] = 500.0
+        engine.run_for(300.0)
+        series = tracker._series("job", tracker.spec("lag"))
+        before = series.count_between(0.0, engine.now)
+        service.store.states["job"] = JobState.QUARANTINED
+        engine.run_for(300.0)
+        after = series.count_between(0.0, engine.now)
+        assert after == before
+
+    def test_job_store_outage_skips_round(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        lag["value"] = 10.0
+        engine.run_for(300.0)
+        evals = tracker.evaluations
+        service.available = False
+        engine.run_for(300.0)
+        assert tracker.evaluations == evals  # rounds skipped, no crash
+        service.available = True
+        engine.run_for(120.0)
+        assert tracker.evaluations > evals
+
+    def test_report_statuses_and_json_round_trip(self):
+        import json
+
+        engine, service, metrics, tracker, lag = build_tracker()
+        lag["value"] = 500.0
+        engine.run_for(1200.0)
+        report = tracker.report()
+        lag_row = next(
+            row for row in report["slos"] if row["slo"] == "lag"
+        )
+        assert lag_row["status"] == "breached"
+        assert lag_row["budget_burned"] >= 1.0
+        ok_row = next(
+            row for row in report["slos"] if row["slo"] == "freshness"
+        )
+        assert ok_row["status"] == "ok"
+        parsed = json.loads(tracker.to_json())
+        assert parsed["slos"] == json.loads(json.dumps(report["slos"]))
+
+    def test_render_is_a_compliance_table(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        lag["value"] = 10.0
+        engine.run_for(300.0)
+        text = tracker.render()
+        assert "budget burned" in text
+        assert "job" in text
+        assert "breach windows:" in text
+
+    def test_identical_runs_produce_identical_json(self):
+        def run():
+            engine, service, metrics, tracker, lag = build_tracker()
+            lag["value"] = 10.0
+            engine.run_for(600.0)
+            lag["value"] = 300.0
+            engine.run_for(600.0)
+            return tracker.to_json()
+
+        assert run() == run()
+
+    def test_unknown_slo_name_raises(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        with pytest.raises(KeyError):
+            tracker.spec("latency")
+
+    def test_duplicate_spec_names_rejected(self):
+        engine = Engine(seed=1)
+        service = FakeJobService()
+        sli = SliEvaluator(service, MetricStore())
+        spec = SloSpec("lag", "lag_seconds", target=0.99,
+                       compliance_window=3600.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SloTracker(engine, sli, specs=(spec, spec))
+
+    def test_stop_cancels_the_timer(self):
+        engine, service, metrics, tracker, lag = build_tracker()
+        engine.run_for(300.0)
+        evals = tracker.evaluations
+        tracker.stop()
+        engine.run_for(600.0)
+        assert tracker.evaluations == evals

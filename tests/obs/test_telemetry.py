@@ -8,6 +8,7 @@ from repro.obs.telemetry import (
     EngineInstrumentation,
     Histogram,
     Telemetry,
+    is_deterministic_instrument,
 )
 from repro.sim.engine import Engine
 
@@ -58,6 +59,29 @@ class TestInstruments:
         assert snapshot["histograms"]["h"]["count"] == 1
         lines = telemetry.to_jsonl().splitlines()
         assert len(lines) == 3
+
+    def test_slo_and_sli_instruments_are_deterministic(self):
+        # The SLO plane derives everything from simulated metrics, so its
+        # instruments belong in the byte-identical deterministic export —
+        # except wall-clock timings, which never do.
+        assert is_deterministic_instrument("slo.evals")
+        assert is_deterministic_instrument("slo.alerts.page")
+        assert is_deterministic_instrument("sli.fleet.jobs_lagging")
+        assert not is_deterministic_instrument("slo.eval_wall_ms")
+        assert not is_deterministic_instrument("sli.read_ms")
+        # The existing exclusions stay excluded.
+        assert not is_deterministic_instrument("cache.hits")
+        assert not is_deterministic_instrument("metrics.window_fast")
+
+    def test_deterministic_jsonl_includes_slo_gauges(self):
+        telemetry = Telemetry()
+        telemetry.inc("slo.evals")
+        telemetry.set_gauge("sli.fleet.jobs_total", 3.0)
+        telemetry.inc("slo.eval_wall_ms", 1.5)
+        text = telemetry.to_jsonl(deterministic=True)
+        assert "slo.evals" in text
+        assert "sli.fleet.jobs_total" in text
+        assert "eval_wall_ms" not in text
 
     def test_render_filters_by_prefix(self):
         telemetry = Telemetry()

@@ -66,11 +66,32 @@ class TestRecording:
         assert event.detail_dict() == {"alpha": 2, "zebra": 1}
 
     def test_max_events_evicts_oldest(self):
+        # Retention uses BoundedList (the health-report pattern): the cap
+        # is never exceeded, eviction drops the oldest events first, and
+        # the newest events always survive.
         tracer = Tracer(enabled=True, max_events=5)
         for index in range(8):
             tracer.record("a", "b", index=index)
-        assert len(tracer.events) == 5
-        assert tracer.events[0].detail_dict()["index"] == 3
+        assert len(tracer.events) <= 5
+        indices = [event.detail_dict()["index"] for event in tracer.events]
+        assert indices == sorted(indices)
+        assert indices[-1] == 7
+        assert 0 not in indices
+
+    def test_bounded_events_still_chain_and_export(self):
+        tracer = Tracer(enabled=True, max_events=10)
+        parent = None
+        for index in range(25):
+            parent = tracer.record(
+                "a", "step", job_id="job", index=index, parent=parent
+            )
+        # The retained window still renders and chains without the
+        # evicted ancestors: the chain is just the surviving suffix.
+        chain = tracer.chain("job")
+        assert chain
+        assert chain[-1] is parent
+        lines = tracer.to_jsonl().strip().splitlines()
+        assert len(lines) == len(tracer.events)
 
 
 class TestContextSlots:

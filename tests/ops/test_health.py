@@ -120,3 +120,41 @@ class TestAlerts:
         reporter.stop()
         platform.run_for(minutes=10)
         assert len(reporter.reports) == 3
+
+
+class TestSliSourcing:
+    """The job-side percentages come from the SLI layer, not an inline loop."""
+
+    def test_report_matches_fleet_counts(self):
+        platform, reporter = healthy_platform()
+        platform.scribe.get_category("cat-0").append(100000.0)
+        platform.run_for(minutes=3)
+        report = reporter.report()
+        counts = reporter.sli.fleet_counts(platform.now)
+        assert report.jobs_total == counts.jobs_total
+        assert report.jobs_lagging == counts.jobs_lagging
+        assert report.jobs_quarantined == counts.jobs_quarantined
+        assert report.jobs_with_oom == counts.jobs_with_oom
+        assert report.pct_jobs_lagging == counts.pct_lagging
+
+    def test_injected_evaluator_is_used(self):
+        from repro.obs.sli import SliEvaluator
+
+        platform, _ = healthy_platform()
+        shared = SliEvaluator(platform.job_service, platform.metrics)
+        reporter = HealthReporter(
+            platform.engine, platform.job_service, platform.task_service,
+            platform.shard_manager, platform.metrics, sli=shared,
+        )
+        assert reporter.sli is shared
+        evals = shared.evaluations
+        reporter.report()
+        # fleet_counts goes through the shared evaluator's judgements.
+        assert shared.evaluations >= evals
+
+    def test_degraded_job_store_still_degrades_gracefully(self):
+        platform, reporter = healthy_platform()
+        platform.job_store.available = False
+        report = reporter.check_once()
+        assert report.jobs_total == 0  # empty degraded report, no crash
+        assert any("degraded" in a.what for a in reporter.alerts)

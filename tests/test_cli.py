@@ -97,6 +97,47 @@ def test_timeline_filters_narrow_output(capsys):
     assert all("shard-manager" in line for line in body)
 
 
+def test_timeline_kind_filter_matches_substring(capsys):
+    assert main(
+        ["timeline", "--minutes", "25", "--kind", "quarantine"]
+    ) == 0
+    out = capsys.readouterr().out
+    body = [
+        line for line in out.splitlines()
+        if line.strip() and not line.startswith(("t (s)", "-"))
+    ]
+    assert body
+    assert all("quarantine" in line for line in body)
+
+
+def test_timeline_source_filter_is_exact(capsys):
+    # "slo" must not match "state-syncer" or any other source by substring.
+    assert main(
+        ["timeline", "--minutes", "40", "--source", "slo"]
+    ) == 0
+    out = capsys.readouterr().out
+    body = [
+        line for line in out.splitlines()
+        if line.strip() and not line.startswith(("t (s)", "-"))
+    ]
+    assert body, "the 40-minute incident must raise burn-rate alerts"
+    assert all(line.split()[1] == "slo" for line in body)
+
+
+def test_timeline_window_bounds_respected(capsys):
+    assert main(
+        ["timeline", "--minutes", "25", "--since", "600", "--until", "1200"]
+    ) == 0
+    out = capsys.readouterr().out
+    times = [
+        float(line.split()[0])
+        for line in out.splitlines()
+        if line.strip() and not line.startswith(("t (s)", "-"))
+    ]
+    assert times
+    assert all(600.0 <= t <= 1200.0 for t in times)
+
+
 def test_trace_command_prints_causal_chain(capsys):
     assert main(["trace", "demo/job-1", "--minutes", "25"]) == 0
     out = capsys.readouterr().out
@@ -120,6 +161,65 @@ def test_trace_unknown_job_reports_empty(capsys):
     assert main(["trace", "no/such-job", "--minutes", "10"]) == 0
     out = capsys.readouterr().out
     assert "no trace events" in out
+
+
+def test_trace_critical_path_reports_layer_costs(capsys):
+    assert main(
+        ["trace", "demo/job-0", "--minutes", "25", "--critical-path"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "slowest causal chain for demo/job-0" in out
+    assert "end to end" in out
+    assert "layer costs" in out
+    assert "->" in out  # at least one layer edge row
+
+
+def test_trace_critical_path_reads_exported_file(capsys, tmp_path):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(
+        ["demo", "--minutes", "20", "--jobs", "2",
+         "--trace-out", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["trace", "demo/job-0", "--input", str(trace_path),
+         "--critical-path"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "slowest causal chain" in out
+
+
+def test_slo_command_prints_compliance_table(capsys):
+    assert main(["slo", "--minutes", "25"]) == 0
+    out = capsys.readouterr().out
+    assert "fleet SLO compliance" in out
+    assert "budget burned" in out
+    assert "demo/job-0" in out
+    assert "breach windows:" in out
+
+
+def test_slo_report_out_writes_deterministic_json(capsys, tmp_path):
+    first = tmp_path / "slo-a.json"
+    second = tmp_path / "slo-b.json"
+    assert main(["slo", "--minutes", "25",
+                 "--report-out", str(first)]) == 0
+    assert main(["slo", "--minutes", "25",
+                 "--report-out", str(second)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+    report = json.loads(first.read_text())
+    assert report["slos"]
+    row = report["slos"][0]
+    assert {"job", "slo", "target", "budget_burned",
+            "burn_1h", "status"} <= set(row)
+
+
+def test_slo_prom_out_writes_exposition(capsys, tmp_path):
+    prom_path = tmp_path / "metrics.prom"
+    assert main(["slo", "--minutes", "25",
+                 "--prom-out", str(prom_path)]) == 0
+    text = prom_path.read_text()
+    assert "# TYPE repro_slo_budget_burned gauge" in text
+    assert 'repro_slo_budget_burned{job="demo/job-0",slo="lag"}' in text
 
 
 def test_chaos_list_enumerates_scenarios(capsys):
@@ -162,6 +262,17 @@ def test_chaos_exports_timeline_and_telemetry(capsys, tmp_path):
     assert lines
     assert any("chaos.faults_injected" in json.loads(line).get("name", "")
                for line in lines)
+
+
+def test_chaos_exports_slo_report(capsys, tmp_path):
+    slo_path = tmp_path / "slo.json"
+    assert main(["chaos", "metric-gap", "--seed", "3",
+                 "--slo-out", str(slo_path)]) == 0
+    out = capsys.readouterr().out
+    assert "slo impact:" in out
+    report = json.loads(slo_path.read_text())
+    assert "slos" in report and "breach_windows" in report
+    assert report["slos"], "chaos platform must track default SLOs"
 
 
 def test_chaos_mttr_table_renders():
