@@ -53,14 +53,17 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def _incident_platform(seed: int, minutes: float):
+def _incident_platform(seed: int, minutes: float, replication: bool = False):
     """A deterministic incident scenario shared by ``timeline``/``trace``.
 
     Three overlapping incidents, so every drill-down surface has
     something to show: ``demo/job-0`` is overloaded (the Auto Scaler
     scales it up), ``demo/job-1`` gets a poisoned oncall config at t=10min
     (three failed sync plans, then quarantine), and a host fails at
-    t=20min (Shard Manager failover moves its shards).
+    t=20min (Shard Manager failover moves its shards). With
+    ``replication`` the Job Store runs as a replica group and the leader
+    is killed at t=25min (rejoining at t=30min), so the ``replication``
+    timeline source has a failover to show (see docs/RUNBOOK.md).
     """
     from repro import JobSpec, PlatformConfig, Turbine
     from repro.jobs.configs import ConfigLevel
@@ -73,6 +76,8 @@ def _incident_platform(seed: int, minutes: float):
     platform.attach_scaler()
     platform.attach_health_reporter()
     platform.attach_slo()
+    if replication:
+        platform.attach_replication()
     platform.enable_tracing()
     platform.start()
     driver = TrafficDriver(platform.engine, platform.scribe, tick=60.0)
@@ -96,14 +101,24 @@ def _incident_platform(seed: int, minutes: float):
         platform.run_for(minutes=min(10.0, minutes - 10.0))
     if minutes > 20.0:
         platform.cluster.fail_host("host-1")
-        platform.run_for(minutes=minutes - 20.0)
+        if replication and minutes > 25.0:
+            platform.run_for(minutes=5.0)
+            crashed = platform.replication.crash("leader")
+            platform.run_for(minutes=min(5.0, minutes - 25.0))
+            if minutes > 30.0:
+                platform.replication.restart(crashed)
+                platform.run_for(minutes=minutes - 30.0)
+        else:
+            platform.run_for(minutes=minutes - 20.0)
     return platform
 
 
 def cmd_timeline(args: argparse.Namespace) -> int:
     from repro.ops.timeline import IncidentTimeline
 
-    platform = _incident_platform(args.seed, args.minutes)
+    platform = _incident_platform(
+        args.seed, args.minutes, replication=args.replication
+    )
     timeline = IncidentTimeline(platform)
     print(timeline.render(
         since=args.since,
@@ -168,7 +183,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             print(f"  {name:24s} {scenario.description}")
         return 0
     try:
-        result = run_scenario(args.scenario, seed=args.seed)
+        result = run_scenario(
+            args.scenario, seed=args.seed, replicas=args.replicas
+        )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
@@ -295,6 +312,10 @@ def main(argv=None) -> int:
     timeline.add_argument("--kind", action="append", metavar="KIND",
                           help="only events whose kind contains this "
                                "substring (repeatable)")
+    timeline.add_argument("--replication", action="store_true",
+                          help="run the Job Store as a replica group and "
+                               "kill the leader at t=25min (adds the "
+                               "'replication' timeline source)")
     timeline.set_defaults(func=cmd_timeline)
 
     trace = sub.add_parser(
@@ -328,6 +349,9 @@ def main(argv=None) -> int:
     chaos.add_argument("scenario",
                        help="scenario name, or 'list' to enumerate")
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--replicas", type=int, default=None,
+                       help="run the Job Store as a replica group of this "
+                            "size (replication scenarios default to 3)")
     chaos.add_argument("--max-mttr", type=float, default=None,
                        help="exit 1 if any fault's recovery exceeds this "
                             "many seconds (or never happens)")

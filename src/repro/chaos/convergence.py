@@ -50,6 +50,14 @@ class InvariantReport:
     #: False while the Job Store is unavailable: store-dependent checks
     #: could not run, so the system cannot be called converged.
     store_visible: bool = True
+    #: Live replicas still catching up on the command log. A replica in
+    #: catch-up is *not yet converged* — but its stale shadow view is
+    #: never read for the placement/config checks above, so it can never
+    #: be misreported as a placement violation (all store-dependent
+    #: checks read the leader endpoint only).
+    lagging_replicas: List[str] = field(default_factory=list)
+    #: True while the replica set has no live leader (failover pending).
+    leaderless: bool = False
 
     @property
     def safety_ok(self) -> bool:
@@ -66,6 +74,8 @@ class InvariantReport:
             and not self.unplaced_shards
             and not self.diverged
             and not self.quarantined
+            and not self.lagging_replicas
+            and not self.leaderless
         )
 
     def violations(self) -> Dict[str, List[str]]:
@@ -80,6 +90,10 @@ class InvariantReport:
                 out[name] = values
         if not self.store_visible:
             out["store_visible"] = ["job store unavailable"]
+        if self.lagging_replicas:
+            out["lagging_replicas"] = self.lagging_replicas
+        if self.leaderless:
+            out["leaderless"] = ["no live job-store leader"]
         return out
 
 
@@ -92,6 +106,15 @@ class ConvergenceChecker:
     def check(self) -> InvariantReport:
         platform = self._platform
         report = InvariantReport(time=platform.now)
+
+        # Replication plane (when attached): a leaderless group or a
+        # live replica still in catch-up means "not yet converged". Dead
+        # replicas are an open fault, not a lagging replica, and shadow
+        # stores are never read below — only the leader endpoint is.
+        replication = getattr(platform, "replication", None)
+        if replication is not None:
+            report.lagging_replicas = replication.lagging_replicas()
+            report.leaderless = not replication.has_leader
 
         # Duplicates: every task object on a live manager occupies the
         # task-id namespace, whatever its state.

@@ -60,6 +60,10 @@ class ChaosEngine:
         self.mttr: Dict[str, Optional[Seconds]] = {}
         self._watches: List[_Watch] = []
         self._watch_timer = None
+        #: fault key → concrete replica id resolved at inject time, so a
+        #: ``replica-crash`` targeting "leader" restarts the same process
+        #: it killed (the leadership may have moved by clear time).
+        self._replica_targets: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -119,6 +123,14 @@ class ChaosEngine:
             )
             kind = "action"
             detail = repr(dict(fault.payload or {}))
+        elif fault.kind == "replica-crash":
+            replica_id = platform.replication.crash(fault.target or "leader")
+            self._replica_targets[fault.key] = replica_id
+            detail = replica_id
+        elif fault.kind == "repl-log-trim":
+            dropped = platform.replication.trim_log()
+            kind = "action"
+            detail = f"dropped={dropped}"
         self._record(scenario, kind, fault.key, detail)
         self._telemetry_inc("chaos.faults_injected")
 
@@ -139,6 +151,8 @@ class ChaosEngine:
                 partition.online = True
         elif fault.kind == "host-failure":
             platform.failures.recover_now(fault.target, label=scenario)
+        elif fault.kind == "replica-crash":
+            platform.replication.restart(self._replica_targets[fault.key])
         self._record(scenario, "clear", fault.key)
         if fault.measure:
             self.mttr.setdefault(fault.key, None)

@@ -93,12 +93,14 @@ class ScenarioResult:
         return "\n".join(lines)
 
 
-def build_platform(seed: int):
+def build_platform(seed: int, replication: bool = False, replicas=None):
     """The standard chaos deployment (shared with the hypothesis suites).
 
     4 hosts x 2 containers, 32 shards, scaler + health reporter attached,
     tracing and instrumentation on, three jobs (``chaos/job-0..2``) with
-    steady traffic on ``cat-0..2``.
+    steady traffic on ``cat-0..2``. With ``replication`` the Job Store
+    runs as a 3-replica group over a Scribe command log (required by the
+    ``replica-crash``/``repl-log-trim`` fault kinds).
     """
     from repro import JobSpec, PlatformConfig, Turbine
     from repro.workloads import TrafficDriver
@@ -111,6 +113,8 @@ def build_platform(seed: int):
     platform.attach_health_reporter()
     platform.attach_slo()
     platform.attach_chaos()
+    if replication:
+        platform.attach_replication(replicas=replicas)
     platform.enable_tracing()
     platform.enable_instrumentation()
     platform.start()
@@ -131,14 +135,23 @@ def run_scenario(
     name_or_scenario,
     seed: int = 0,
     warmup: Seconds = WARMUP,
+    replicas: Optional[int] = None,
 ) -> ScenarioResult:
-    """Run one named (or inline) scenario on a fresh platform."""
+    """Run one named (or inline) scenario on a fresh platform.
+
+    ``replicas`` overrides the replica-set size; passing it also forces
+    replication on for scenarios that do not require it.
+    """
     scenario: ChaosScenario = (
         name_or_scenario
         if isinstance(name_or_scenario, ChaosScenario)
         else get_scenario(name_or_scenario)
     )
-    platform = build_platform(seed)
+    platform = build_platform(
+        seed,
+        replication=scenario.replication or replicas is not None,
+        replicas=replicas,
+    )
     platform.run_for(seconds=warmup)
     started_at = platform.now
     platform.chaos.schedule(scenario)

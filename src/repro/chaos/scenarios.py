@@ -21,6 +21,13 @@ The registry covers the degraded modes the paper calls out:
   estimates from metrics"); the data plane must not care;
 * ``scribe-partition-loss`` — an input category's brokers vanish; lag
   builds, no data is lost, and the backlog drains after recovery.
+* ``leader-crash-mid-plan`` — the Job Store leader replica dies right
+  after an oncall patch, before the syncer's next round; the lease
+  lapses, a follower promotes from the command log, and the pending
+  plan applies exactly once on the new leader;
+* ``follower-lag-snapshot-catchup`` — a follower is down long enough
+  that the command log's retention horizon passes it; on rejoin it must
+  bootstrap via snapshot transfer from the leader, then tail the log.
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ FAULT_KINDS = (
     "scribe-partition-loss",
     "host-failure",
     "oncall-patch",
+    "replica-crash",
+    "repl-log-trim",
 )
 
 
@@ -88,6 +97,11 @@ class ChaosScenario:
     #: How long :func:`repro.chaos.runner.run_scenario` keeps simulating
     #: after scheduling the scenario (long enough to converge).
     horizon: Seconds = 960.0
+    #: Whether the platform runs with Job Store replication attached.
+    #: Off for the legacy scenarios so their golden MTTRs stay frozen
+    #: (a replicated ``job-store-outage`` would fail over and self-heal,
+    #: which is a different experiment — see the replication scenarios).
+    replication: bool = False
 
     def measured_faults(self) -> Tuple[Fault, ...]:
         """The faults whose recovery the engine times."""
@@ -196,6 +210,50 @@ def _scribe_partition_loss() -> ChaosScenario:
     )
 
 
+def _leader_crash_mid_plan() -> ChaosScenario:
+    return ChaosScenario(
+        name="leader-crash-mid-plan",
+        description=(
+            "An oncall patch lands, then the Job Store leader replica "
+            "dies before the syncer's next round can execute the plan. "
+            "Writes degrade like a store outage until the lease lapses "
+            "and a follower promotes from the command log; the pending "
+            "plan then applies exactly once — no lost and no duplicated "
+            "plan actions — and failover beats the 40 s reboot clock."
+        ),
+        faults=(
+            Fault("oncall-patch", at=55.0, target="chaos/job-0",
+                  payload={"task_count": 4}, measure=False),
+            Fault("replica-crash", at=58.0, duration=120.0,
+                  target="leader"),
+        ),
+        replication=True,
+    )
+
+
+def _follower_lag_snapshot_catchup() -> ChaosScenario:
+    return ChaosScenario(
+        name="follower-lag-snapshot-catchup",
+        description=(
+            "A follower replica is down while patches advance the "
+            "command log, and the log's retention horizon is trimmed "
+            "past the follower's position. On rejoin, catch-up must "
+            "detect the horizon, install a snapshot from the leader, "
+            "and tail the log back to in-sync."
+        ),
+        faults=(
+            Fault("replica-crash", at=30.0, duration=300.0,
+                  target="replica-2"),
+            Fault("oncall-patch", at=60.0, target="chaos/job-1",
+                  payload={"task_count": 3}, measure=False),
+            Fault("oncall-patch", at=120.0, target="chaos/job-2",
+                  payload={"task_count": 3}, measure=False),
+            Fault("repl-log-trim", at=200.0, measure=False),
+        ),
+        replication=True,
+    )
+
+
 #: Name → scenario. The registry is rebuilt per call so scenario tuples
 #: can never be mutated by one run and leak into the next.
 def all_scenarios() -> Dict[str, ChaosScenario]:
@@ -206,6 +264,8 @@ def all_scenarios() -> Dict[str, ChaosScenario]:
         _task_service_staleness(),
         _metric_gap(),
         _scribe_partition_loss(),
+        _leader_crash_mid_plan(),
+        _follower_lag_snapshot_catchup(),
     )
     return {scenario.name: scenario for scenario in scenarios}
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import (
     JobStoreError,
@@ -98,6 +98,26 @@ class JobStore:
         #: this models a primary outage). Snapshot durability helpers are
         #: exempt — they model the disk, not the service.
         self.available = True
+        #: Command tap for state-machine replication (see
+        #: :mod:`repro.replication`): called with ``(op, args)`` *after*
+        #: every successful mutation, in execution order. Because the
+        #: store serializes mutations, the emitted command sequence *is*
+        #: the store's history — replaying it into a fresh store yields
+        #: a byte-identical snapshot (the log-equivalence suite).
+        self._command_sink: Optional[Callable[[str, Dict[str, Any]], None]] = None
+
+    # ------------------------------------------------------------------
+    # Replication tap
+    # ------------------------------------------------------------------
+    def set_command_sink(
+        self, sink: Optional[Callable[[str, Dict[str, Any]], None]]
+    ) -> None:
+        """Install (or clear) the replication command tap."""
+        self._command_sink = sink
+
+    def _emit(self, op: str, **args: Any) -> None:
+        if self._command_sink is not None:
+            self._command_sink(op, args)
 
     # ------------------------------------------------------------------
     # Availability (chaos hooks)
@@ -153,6 +173,7 @@ class JobStore:
         self._running[job_id] = VersionedConfig()
         self._states[job_id] = JobState.RUNNING
         self._notify_change(job_id)
+        self._emit("create_job", job_id=job_id)
 
     def delete_job(self, job_id: JobId) -> None:
         """Remove a job entirely."""
@@ -162,6 +183,7 @@ class JobStore:
         del self._running[job_id]
         self._states[job_id] = JobState.DELETED
         self._notify_change(job_id)
+        self._emit("delete_job", job_id=job_id)
 
     def job_ids(self) -> List[JobId]:
         """All live jobs, sorted for deterministic iteration."""
@@ -185,6 +207,7 @@ class JobStore:
         self._require_job(job_id)
         self._states[job_id] = state
         self._notify_change(job_id)
+        self._emit("set_state", job_id=job_id, state=state.value)
 
     # ------------------------------------------------------------------
     # Expected configurations
@@ -223,6 +246,10 @@ class JobStore:
         stored.config = json.loads(json.dumps(config))
         stored.version += 1
         self._notify_change(job_id)
+        self._emit(
+            "write_expected", job_id=job_id, level=level.name,
+            config=stored.config, expected_version=expected_version,
+        )
         return stored.version
 
     def merged_expected(self, job_id: JobId) -> Config:
@@ -268,6 +295,9 @@ class JobStore:
         self._dirty.discard(job_id)
         if not quiet:
             self._notify_change(job_id)
+        self._emit(
+            "commit_running", job_id=job_id, config=stored.config, quiet=quiet
+        )
         return stored.version
 
     # ------------------------------------------------------------------
@@ -284,6 +314,7 @@ class JobStore:
         self._require_job(job_id)
         self._dirty.add(job_id)
         self._notify_change(job_id)
+        self._emit("mark_dirty", job_id=job_id)
 
     def is_dirty(self, job_id: JobId) -> bool:
         self._check_available()
@@ -312,7 +343,10 @@ class JobStore:
             },
             "dirty": sorted(self._dirty),
         }
-        return json.dumps(payload)
+        # Canonical form (sorted keys): two stores with the same logical
+        # state dump the same bytes, which is what lets the replication
+        # equivalence suite compare replicas byte-for-byte.
+        return json.dumps(payload, sort_keys=True)
 
     def save(self, path) -> None:
         """Write a durable snapshot to ``path`` (the production Job Store
@@ -348,6 +382,29 @@ class JobStore:
             store._states[job_id] = JobState(value)
         store._dirty = set(payload.get("dirty", []))
         return store
+
+    # ------------------------------------------------------------------
+    # Replication takeover
+    # ------------------------------------------------------------------
+    def install_state(self, source: "JobStore") -> None:
+        """Adopt ``source``'s tables in place (leader promotion).
+
+        The store object is the *service endpoint* — every client holds a
+        reference to it — so a failover cannot replace the object, only
+        its state. The promoted replica's tables are moved in (not
+        copied: the replica hands them over and is rebuilt from scratch
+        if it ever rejoins), live change cursors are kept, and every job
+        is pushed into them: a new leader cannot trust deltas queued
+        against its predecessor, so the next incremental sync round
+        re-examines the whole fleet (anti-entropy, exactly like a syncer
+        restart).
+        """
+        self._expected = source._expected
+        self._running = source._running
+        self._states = source._states
+        self._dirty = source._dirty
+        for job_id in sorted(self._expected):
+            self._notify_change(job_id)
 
     # ------------------------------------------------------------------
     # Internals

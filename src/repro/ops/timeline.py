@@ -63,6 +63,7 @@ class IncidentTimeline:
         collected.extend(self._capacity_events())
         collected.extend(self._failure_events())
         collected.extend(self._chaos_events())
+        collected.extend(self._replication_events())
         collected.extend(self._health_events())
         collected.extend(self._slo_events())
         collected.extend(self._trace_events())
@@ -168,6 +169,21 @@ class IncidentTimeline:
                           f"{record.target} [{record.scenario}]"
                           + (f": {record.detail}" if record.detail else ""))
             for record in chaos.records
+        ]
+
+    def _replication_events(self) -> List[TimelineEvent]:
+        """Leader losses, elections, rejoins, and snapshot installs.
+
+        Empty for a fault-free run by construction (the replication
+        group records incidents only), which keeps replication-on and
+        replication-off timelines byte-identical in the golden suite.
+        """
+        replication = getattr(self._platform, "replication", None)
+        if replication is None:
+            return []
+        return [
+            TimelineEvent(event.time, "replication", event.kind, event.detail)
+            for event in replication.events
         ]
 
     def _health_events(self) -> List[TimelineEvent]:

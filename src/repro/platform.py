@@ -136,13 +136,14 @@ class Turbine:
         )
         #: Filled in by :meth:`attach_scaler` / :meth:`attach_capacity_manager`
         #: / :meth:`attach_health_reporter` / :meth:`attach_chaos` /
-        #: :meth:`attach_slo`.
+        #: :meth:`attach_slo` / :meth:`attach_replication`.
         self.scaler = None
         self.capacity_manager = None
         self.health = None
         self.chaos = None
         self.sli = None
         self.slo = None
+        self.replication = None
         self._started = False
         cluster.on_host_failure.append(self._on_host_failure)
 
@@ -226,6 +227,52 @@ class Turbine:
         self.chaos = ChaosEngine(self)
         return self.chaos
 
+    def attach_replication(
+        self,
+        replicas=None,
+        heartbeat_interval=None,
+        lease_timeout=None,
+        catchup_interval=None,
+        log_retention=None,
+    ):
+        """Attach Job Store state-machine replication over Scribe.
+
+        Mutations of the Job Store endpoint are serialized onto a
+        dedicated Scribe command log and applied in log order by shadow
+        replicas; a sim-time lease elects the leader and a follower is
+        promoted in place on leader loss. Fault-free behavior is
+        byte-identical to an unreplicated platform (the golden
+        transparency suite in tests/integration proves it).
+        """
+        from repro.replication import (
+            CATCHUP_INTERVAL,
+            DEFAULT_REPLICAS,
+            HEARTBEAT_INTERVAL as REPL_HEARTBEAT_INTERVAL,
+            LEASE_TIMEOUT,
+            ReplicationGroup,
+        )
+
+        self.replication = ReplicationGroup(
+            self.engine,
+            self.job_store,
+            self.scribe,
+            replicas=replicas if replicas is not None else DEFAULT_REPLICAS,
+            heartbeat_interval=heartbeat_interval
+            if heartbeat_interval is not None
+            else REPL_HEARTBEAT_INTERVAL,
+            lease_timeout=lease_timeout
+            if lease_timeout is not None
+            else LEASE_TIMEOUT,
+            catchup_interval=catchup_interval
+            if catchup_interval is not None
+            else CATCHUP_INTERVAL,
+            log_retention=log_retention,
+            telemetry=self.telemetry,
+        )
+        if self._started:
+            self.replication.start()
+        return self.replication
+
     def attach_capacity_manager(self, capacity_config=None):
         """Attach the Capacity Manager (requires an attached scaler)."""
         from repro.scaler.capacity import CapacityManager
@@ -280,6 +327,8 @@ class Turbine:
             self.health.start()
         if self.slo is not None:
             self.slo.start()
+        if self.replication is not None:
+            self.replication.start()
 
     def _spawn_manager(self, container) -> TaskManager:
         manager = TaskManager(

@@ -1,0 +1,108 @@
+"""Command encoding for Job Store state-machine replication.
+
+Every Job Store mutation is serialized as a :class:`Command` — the
+operation name plus exactly the arguments needed to re-execute it — and
+appended to the replicated command log in execution order. Replicas
+apply commands through :func:`apply_command`, which calls the *same*
+store methods the original caller used, so replay semantics can never
+drift from live semantics: the log-equivalence suite proves that a
+fresh store fed the command stream produces a snapshot byte-identical
+to the origin store's.
+
+Encoding is canonical JSON (sorted keys, no whitespace variance) so the
+log payloads themselves are deterministic per seed and byte-comparable
+across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.errors import TurbineError
+from repro.jobs.configs import ConfigLevel
+from repro.jobs.store import JobStore
+from repro.types import JobState
+
+
+class ReplicationError(TurbineError):
+    """A replication protocol operation failed (bad command, no quorum
+    candidate, snapshot unavailable)."""
+
+
+#: Operations the replicated state machine understands — exactly the
+#: Job Store's mutation surface (see ``JobStore._emit`` call sites).
+COMMAND_OPS = (
+    "create_job",
+    "delete_job",
+    "set_state",
+    "write_expected",
+    "commit_running",
+    "mark_dirty",
+)
+
+
+@dataclass(frozen=True)
+class Command:
+    """One serialized Job Store mutation."""
+
+    op: str
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in COMMAND_OPS:
+            raise ReplicationError(f"unknown command op: {self.op!r}")
+
+
+def encode_command(op: str, args: Dict[str, Any]) -> str:
+    """Serialize one command to canonical JSON."""
+    if op not in COMMAND_OPS:
+        raise ReplicationError(f"unknown command op: {op!r}")
+    return json.dumps(
+        {"op": op, "args": args}, sort_keys=True, separators=(",", ":")
+    )
+
+
+def decode_command(payload: str) -> Command:
+    """Parse a :func:`encode_command` payload."""
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as error:
+        raise ReplicationError(f"malformed command payload: {error}") from None
+    if not isinstance(data, dict) or "op" not in data:
+        raise ReplicationError(f"malformed command payload: {payload!r}")
+    return Command(op=data["op"], args=dict(data.get("args", {})))
+
+
+def apply_command(store: JobStore, command: Command) -> None:
+    """Replay one command against ``store``.
+
+    Commands are logged only after the leader executed them
+    successfully, and the leader is the log's sole appender, so replay
+    in log order is conflict-free by construction: every
+    ``write_expected`` carries the expected version the leader observed,
+    and a replica at the same log position holds the same version.
+    """
+    args = command.args
+    if command.op == "create_job":
+        store.create_job(args["job_id"])
+    elif command.op == "delete_job":
+        store.delete_job(args["job_id"])
+    elif command.op == "set_state":
+        store.set_state(args["job_id"], JobState(args["state"]))
+    elif command.op == "write_expected":
+        store.write_expected(
+            args["job_id"],
+            ConfigLevel[args["level"]],
+            args["config"],
+            args["expected_version"],
+        )
+    elif command.op == "commit_running":
+        store.commit_running(
+            args["job_id"], args["config"], quiet=bool(args.get("quiet"))
+        )
+    elif command.op == "mark_dirty":
+        store.mark_dirty(args["job_id"])
+    else:  # pragma: no cover — Command.__post_init__ rejects these
+        raise ReplicationError(f"unknown command op: {command.op!r}")

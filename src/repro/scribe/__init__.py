@@ -17,6 +17,14 @@ paper's metrics use (``total_bytes_lagged``, processing rate in GB/s).
 from repro.scribe.bus import ScribeBus
 from repro.scribe.category import Category
 from repro.scribe.checkpoints import CheckpointStore
+from repro.scribe.log import CommandLog, RetentionError
 from repro.scribe.partition import Partition
 
-__all__ = ["ScribeBus", "Category", "Partition", "CheckpointStore"]
+__all__ = [
+    "ScribeBus",
+    "Category",
+    "Partition",
+    "CheckpointStore",
+    "CommandLog",
+    "RetentionError",
+]

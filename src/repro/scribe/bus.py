@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.errors import ScribeError
 from repro.scribe.category import Category
 from repro.scribe.checkpoints import CheckpointStore
+from repro.scribe.log import CommandLog
 
 
 class ScribeBus:
@@ -15,6 +16,10 @@ class ScribeBus:
     def __init__(self) -> None:
         self.categories: Dict[str, Category] = {}
         self.checkpoints = CheckpointStore()
+        #: Record-bearing control-plane logs (command logs), by name.
+        #: Kept in a separate namespace from data categories: the unit of
+        #: a category is bytes, the unit of a log is ordered records.
+        self.logs: Dict[str, CommandLog] = {}
 
     def create_category(self, name: str, num_partitions: int) -> Category:
         """Create a new category; names are unique."""
@@ -41,5 +46,36 @@ class ScribeBus:
         """All category names, sorted for deterministic iteration."""
         return sorted(self.categories)
 
+    # ------------------------------------------------------------------
+    # Control-plane command logs
+    # ------------------------------------------------------------------
+    def create_log(
+        self, name: str, retention: Optional[int] = None
+    ) -> CommandLog:
+        """Create a new command log; names are unique."""
+        if name in self.logs:
+            raise ScribeError(f"log {name} already exists")
+        log = CommandLog(name, retention=retention)
+        self.logs[name] = log
+        return log
+
+    def get_log(self, name: str) -> CommandLog:
+        """Look up a command log by name."""
+        try:
+            return self.logs[name]
+        except KeyError:
+            raise ScribeError(f"unknown log {name}") from None
+
+    def ensure_log(
+        self, name: str, retention: Optional[int] = None
+    ) -> CommandLog:
+        """Get the log, creating it if missing (idempotent provision)."""
+        if name in self.logs:
+            return self.logs[name]
+        return self.create_log(name, retention=retention)
+
     def __repr__(self) -> str:
-        return f"ScribeBus(categories={len(self.categories)})"
+        return (
+            f"ScribeBus(categories={len(self.categories)}, "
+            f"logs={len(self.logs)})"
+        )

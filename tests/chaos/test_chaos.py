@@ -22,6 +22,10 @@ ACCEPTANCE_SCENARIOS = (
     "task-service-staleness",
     "metric-gap",
     "scribe-partition-loss",
+    # Replicated control plane (run on a 3-replica Job Store group;
+    # deep assertions live in tests/chaos/test_replication_scenarios.py)
+    "leader-crash-mid-plan",
+    "follower-lag-snapshot-catchup",
 )
 
 

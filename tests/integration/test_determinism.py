@@ -15,7 +15,8 @@ from repro.workloads import DiurnalPattern, TrafficDriver
 
 
 def run_busy_hour(
-    seed, placement_cache=True, observe=False, metrics_streaming=True
+    seed, placement_cache=True, observe=False, metrics_streaming=True,
+    replication=False,
 ):
     platform = Turbine.create(
         num_hosts=4, seed=seed,
@@ -29,6 +30,9 @@ def run_busy_hour(
         platform.enable_tracing()
         platform.enable_instrumentation()
     platform.attach_scaler(AutoScalerConfig(interval=120.0))
+    platform.attach_slo()
+    if replication:
+        platform.attach_replication()
     platform.start()
     driver = TrafficDriver(
         platform.engine, platform.scribe, tick=60.0,
@@ -74,9 +78,13 @@ def run_busy_hour(
         ),
     }
     if observe:
+        from repro.ops.timeline import IncidentTimeline
+
         exports = {
             "trace": platform.tracer.to_jsonl(),
             "telemetry": platform.telemetry.to_jsonl(deterministic=True),
+            "timeline": IncidentTimeline(platform).render(),
+            "slo": platform.slo.to_json(platform.now),
         }
         return fingerprint, exports
     return fingerprint
@@ -246,4 +254,49 @@ class TestStreamingMetricsTransparency:
         )
         assert stats["batches_ingested"] > 0, (
             "driver/stats collection should land coalesced batches"
+        )
+
+class TestReplicationTransparency:
+    """Job Store replication must be invisible until a fault needs it.
+
+    A replicated platform tails every mutation into the Scribe command
+    log and runs lease/catch-up timers, but none of that may perturb the
+    simulation: fault-free golden same-seed runs with replication on and
+    off must agree on the coarse fingerprint, the byte-exact causal
+    trace, the rendered incident timeline, and the SLO report — the
+    ``--timeline-out``/``--slo-out`` exports of ``repro chaos``. The
+    telemetry export is deliberately NOT compared across the pair:
+    ``repl.*`` counters exist only on the replicated arm (and are
+    themselves deterministic, which the chaos determinism sweep checks).
+    """
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_same_seed_byte_identical_replication_on_and_off(self, seed):
+        fp_on, exports_on = run_busy_hour(
+            seed=seed, replication=True, observe=True
+        )
+        fp_off, exports_off = run_busy_hour(
+            seed=seed, replication=False, observe=True
+        )
+        assert fp_on == fp_off
+        assert exports_on["trace"] == exports_off["trace"]
+        assert exports_on["timeline"] == exports_off["timeline"]
+        assert exports_on["slo"] == exports_off["slo"]
+
+    def test_replication_actually_engaged_in_golden_run(self):
+        """Guard against the transparency test passing vacuously."""
+        platform = Turbine.create(
+            num_hosts=4, seed=101,
+            config=PlatformConfig(num_shards=32, containers_per_host=2),
+        )
+        group = platform.attach_replication()
+        platform.start()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2)
+        )
+        platform.run_for(hours=0.5)
+        assert group.log.head_index > 0, "mutations should reach the log"
+        assert group.in_sync, "followers should have caught up"
+        assert list(group.events) == [], (
+            "fault-free runs must record no replication events"
         )

@@ -1,0 +1,82 @@
+"""Command encoding: canonical, round-trippable, replay-faithful."""
+
+import pytest
+
+from repro.jobs import ConfigLevel, JobStore
+from repro.replication import (
+    COMMAND_OPS,
+    Command,
+    ReplicationError,
+    apply_command,
+    decode_command,
+    encode_command,
+)
+from repro.types import JobState
+
+
+def test_encode_is_canonical_and_round_trips():
+    payload = encode_command(
+        "write_expected",
+        {"job_id": "a/j", "level": "ONCALL",
+         "config": {"task_count": 3}, "expected_version": 0},
+    )
+    # Canonical JSON: sorted keys, no whitespace — byte-stable per run.
+    assert payload == encode_command(
+        "write_expected",
+        {"expected_version": 0, "config": {"task_count": 3},
+         "level": "ONCALL", "job_id": "a/j"},
+    )
+    command = decode_command(payload)
+    assert command.op == "write_expected"
+    assert command.args["config"] == {"task_count": 3}
+
+
+def test_unknown_op_rejected_everywhere():
+    with pytest.raises(ReplicationError):
+        encode_command("drop_table", {})
+    with pytest.raises(ReplicationError):
+        Command("drop_table")
+    with pytest.raises(ReplicationError):
+        decode_command('{"op": "drop_table", "args": {}}')
+
+
+def test_malformed_payload_rejected():
+    with pytest.raises(ReplicationError):
+        decode_command("not json")
+    with pytest.raises(ReplicationError):
+        decode_command('["op"]')
+
+
+@pytest.mark.parametrize("op", COMMAND_OPS)
+def test_every_op_replays(op):
+    origin = JobStore()
+    replica = JobStore()
+    tape = []
+    origin.set_command_sink(
+        lambda name, args: tape.append(encode_command(name, args))
+    )
+    origin.create_job("a/j")
+    if op == "set_state":
+        origin.set_state("a/j", JobState.STOPPED)
+    elif op == "write_expected":
+        origin.write_expected("a/j", ConfigLevel.ONCALL, {"task_count": 2}, 0)
+    elif op == "commit_running":
+        origin.commit_running("a/j", {"task_count": 2}, quiet=True)
+    elif op == "mark_dirty":
+        origin.mark_dirty("a/j")
+    elif op == "delete_job":
+        origin.delete_job("a/j")
+    assert any(decode_command(p).op == op for p in tape)
+    for payload in tape:
+        apply_command(replica, decode_command(payload))
+    assert replica.dump_snapshot() == origin.dump_snapshot()
+
+
+def test_sink_can_be_cleared():
+    store = JobStore()
+    tape = []
+    store.set_command_sink(lambda op, args: tape.append(op))
+    store.create_job("a/j")
+    store.set_command_sink(None)
+    store.create_job("a/k")
+    assert tape == ["create_job"]

@@ -1,0 +1,154 @@
+"""Hypothesis equivalence suite: the log-applied store IS the store.
+
+The replication tentpole's core claim: a Job Store built by replaying
+the command log is byte-identical to the store that executed the
+mutations first-hand — under random interleavings of every mutation
+kind, CAS conflicts, log compaction (retention trims), and
+snapshot-install catch-up. If this holds, a promoted follower can never
+lose or duplicate a committed mutation.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    precondition,
+    rule,
+)
+
+import pytest
+
+from repro.errors import VersionConflictError
+from repro.jobs import ConfigLevel, JobStore
+from repro.replication import apply_command, decode_command, encode_command
+from repro.scribe import CommandLog, RetentionError
+from repro.types import JobState
+
+JOBS = ["job-a", "job-b"]
+EXTRA_JOB = "job-x"
+LEVELS = list(ConfigLevel)
+STATES = [JobState.RUNNING, JobState.STOPPED, JobState.QUARANTINED]
+
+
+class LogEquivalenceMachine(RuleBasedStateMachine):
+    """Random mutation histories; replica must replay to the same bytes."""
+
+    def __init__(self):
+        super().__init__()
+        self.log = CommandLog("turbine.jobstore-commands")
+        self.origin = JobStore()
+        self.origin.set_command_sink(
+            lambda op, args: self.log.append(encode_command(op, args))
+        )
+        self.replica = JobStore()
+        self.applied = 0
+        #: (job, level) -> current version (for fresh CAS writes).
+        self.versions = {}
+        self.extra_exists = False
+
+    @initialize()
+    def seed_jobs(self):
+        for job_id in JOBS:
+            self.origin.create_job(job_id)
+            for level in LEVELS:
+                self.versions[(job_id, level)] = 0
+
+    # ------------------------------------------------------------------
+    # Origin mutations (each appends exactly its own command)
+    # ------------------------------------------------------------------
+    @rule(
+        job=st.sampled_from(JOBS),
+        level=st.sampled_from(LEVELS),
+        value=st.integers(1, 16),
+    )
+    def fresh_write(self, job, level, value):
+        version = self.versions[(job, level)]
+        self.origin.write_expected(
+            job, level, {"task_count": value}, version
+        )
+        self.versions[(job, level)] = version + 1
+
+    @rule(
+        job=st.sampled_from(JOBS),
+        level=st.sampled_from(LEVELS),
+        value=st.integers(1, 16),
+    )
+    def stale_write_logs_nothing(self, job, level, value):
+        head_before = self.log.head_index
+        with pytest.raises(VersionConflictError):
+            self.origin.write_expected(
+                job, level, {"task_count": value},
+                self.versions[(job, level)] + 7,
+            )
+        # A failed CAS must never reach the log — commands are appended
+        # only after the mutation succeeded on the leader.
+        assert self.log.head_index == head_before
+
+    @rule(
+        job=st.sampled_from(JOBS),
+        value=st.integers(1, 16),
+        quiet=st.booleans(),
+    )
+    def commit_running(self, job, value, quiet):
+        self.origin.commit_running(job, {"task_count": value}, quiet=quiet)
+
+    @rule(job=st.sampled_from(JOBS), state=st.sampled_from(STATES))
+    def set_state(self, job, state):
+        self.origin.set_state(job, state)
+
+    @rule(job=st.sampled_from(JOBS))
+    def mark_dirty(self, job):
+        self.origin.mark_dirty(job)
+
+    @rule()
+    @precondition(lambda self: not self.extra_exists)
+    def create_extra_job(self):
+        self.origin.create_job(EXTRA_JOB)
+        self.extra_exists = True
+
+    @rule()
+    @precondition(lambda self: self.extra_exists)
+    def delete_extra_job(self):
+        self.origin.delete_job(EXTRA_JOB)
+        self.extra_exists = False
+
+    # ------------------------------------------------------------------
+    # Log lifecycle
+    # ------------------------------------------------------------------
+    @rule(keep=st.integers(0, 4))
+    def compact(self, keep):
+        """The retention horizon passes, keeping only ``keep`` records."""
+        self.log.trim(max(self.log.head_index - keep, 0))
+
+    @rule()
+    def snapshot_install(self):
+        """Unconditional state transfer (a fresh replica bootstrapping)."""
+        self.replica = JobStore.load_snapshot(self.origin.dump_snapshot())
+        self.applied = self.log.head_index
+
+    # ------------------------------------------------------------------
+    # Catch-up + the equivalence assertion
+    # ------------------------------------------------------------------
+    @rule()
+    def catch_up_and_verify(self):
+        if self.applied < self.log.first_index:
+            # Behind the horizon: the log must refuse the read, and the
+            # replica must recover via snapshot transfer.
+            with pytest.raises(RetentionError):
+                self.log.read_from(self.applied)
+            self.snapshot_install()
+        for index, payload in self.log.read_from(self.applied):
+            apply_command(self.replica, decode_command(payload))
+            self.applied = index + 1
+        assert self.replica.dump_snapshot() == self.origin.dump_snapshot()
+
+    def teardown(self):
+        # Every history ends with a full catch-up and byte comparison.
+        self.catch_up_and_verify()
+
+
+TestLogEquivalence = LogEquivalenceMachine.TestCase
+TestLogEquivalence.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)
