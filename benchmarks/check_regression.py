@@ -89,9 +89,11 @@ def check(ratios, baseline_path):
         allowed = entry["ratio"] * (1.0 + tolerance)
         actual = ratios[name]
         verdict = "ok" if actual <= allowed else "REGRESSED"
+        delta = (actual / entry["ratio"] - 1.0) * 100.0
         print(
             f"{name}: ratio {actual:.4f} "
-            f"(baseline {entry['ratio']:.4f}, allowed <= {allowed:.4f}) "
+            f"(baseline {entry['ratio']:.4f}, {delta:+.1f}%, "
+            f"allowed <= {allowed:.4f}) "
             f"{verdict}"
         )
         if actual > allowed:

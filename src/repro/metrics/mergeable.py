@@ -1,0 +1,61 @@
+"""Mergeable metric slices: batches that land identically however split.
+
+The parallel substrate produces metric samples on N partitions and needs
+the coordinator's :class:`~repro.metrics.store.MetricStore` to end up
+byte-identical to a single-loop run. A :class:`MetricSlice` is the unit
+that makes that safe to reason about: an immutable-ish batch of
+``(time, entity, metric, value)`` rows with a canonical ordering, plus
+:func:`merge_slices`, which combines any number of slices into one
+canonical slice. Because the canonical order is a pure function of the
+row keys, ``merge_slices(split(rows))`` equals ``merge_slices([rows])``
+for every way of splitting — the store-level mirror of the substrate's
+integer-sum merge rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+#: One sample: (time, entity, metric, value).
+SliceRow = Tuple[float, str, str, float]
+
+
+@dataclass
+class MetricSlice:
+    """A batch of metric samples from one source (e.g. one partition)."""
+
+    rows: List[SliceRow] = field(default_factory=list)
+
+    def add(
+        self, time: float, entity: str, metric: str, value: float
+    ) -> None:
+        self.rows.append((time, entity, metric, value))
+
+    def extend(self, rows: Iterable[SliceRow]) -> None:
+        self.rows.extend(rows)
+
+    def canonical(self) -> List[SliceRow]:
+        """Rows in canonical ``(time, entity, metric)`` order.
+
+        Sorting includes the value as a final tie-break so that even
+        duplicate keys (two sources reporting the same instant — which
+        well-formed producers avoid) order deterministically.
+        """
+        return sorted(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def merge_slices(slices: Sequence[MetricSlice]) -> MetricSlice:
+    """Combine slices into one canonical slice.
+
+    Split-invariant: however the same rows are distributed over input
+    slices, the output is identical.
+    """
+    merged = MetricSlice()
+    for piece in slices:
+        merged.extend(piece.rows)
+    merged.rows = merged.canonical()
+    return merged

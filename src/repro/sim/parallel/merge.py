@@ -1,0 +1,90 @@
+"""Canonical merge of per-partition round deltas.
+
+The merge is the load-bearing half of the byte-identity argument: given
+the deltas of one round from any number of partitions, it must produce
+the same :class:`MergedRound` regardless of how tasks were distributed
+or in which order deltas arrived. It holds because
+
+* stats and orphan lag are fixed-point integers quantized **per task**
+  upstream — integer addition is associative and commutative, so
+  grouping by (time, job) and summing is partition-count-invariant;
+* crash records are entity-keyed facts — merging is a set union,
+  emitted in canonical ``(time, job, task_index)`` order;
+* nothing partition-scoped (event counts, delta sizes, arrival order)
+  ever flows into the merged view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.parallel.fleet import RoundDelta
+
+
+@dataclass
+class MergedRound:
+    """One round's fleet-wide view, identical for any partition count."""
+
+    #: ``(t, job_id) -> (lag_u, processed_u)`` integer sums.
+    stats: Dict[Tuple[float, str], Tuple[int, int]] = field(
+        default_factory=dict
+    )
+    #: Crash records in canonical ``(time, job, task_index)`` order.
+    crashes: List[Tuple[float, str, int]] = field(default_factory=list)
+    #: ``job_id -> lag_u`` orphaned by scale-downs applied this round.
+    orphans: Dict[str, int] = field(default_factory=dict)
+    #: Total engine events across partitions (diagnostic only — this is
+    #: partition-dependent and must never reach an export).
+    events: int = 0
+
+    def stat_times(self) -> List[float]:
+        """Distinct sample times, ascending."""
+        return sorted({t for t, _job in self.stats})
+
+    def rows(self) -> List[Tuple[float, str, int, int]]:
+        """All samples as ``(t, job, lag_u, processed_u)``, canonical order."""
+        return [
+            (t, job, lag_u, proc_u)
+            for (t, job), (lag_u, proc_u) in sorted(self.stats.items())
+        ]
+
+    def latest(self, t: float) -> Dict[str, Tuple[int, int]]:
+        """The per-job sums sampled exactly at ``t`` (normally a barrier)."""
+        return {
+            job: sums for (time, job), sums in self.stats.items() if time == t
+        }
+
+
+def merge_deltas(deltas: Sequence[RoundDelta]) -> MergedRound:
+    """Fold one round's partition deltas into the fleet-wide view.
+
+    Deltas are processed in ascending partition order for definiteness,
+    but the result provably does not depend on it: every reduction below
+    is an integer sum or a sorted union.
+    """
+    if not deltas:
+        raise SimulationError("cannot merge an empty round")
+    seen = set()
+    for delta in deltas:
+        if delta.partition_index in seen:
+            raise SimulationError(
+                f"duplicate delta for partition {delta.partition_index}"
+            )
+        seen.add(delta.partition_index)
+    merged = MergedRound()
+    for delta in sorted(deltas, key=lambda d: d.partition_index):
+        for t, job, lag_u, proc_u in delta.stats:
+            key = (t, job)
+            prev = merged.stats.get(key)
+            if prev is None:
+                merged.stats[key] = (lag_u, proc_u)
+            else:
+                merged.stats[key] = (prev[0] + lag_u, prev[1] + proc_u)
+        merged.crashes.extend(delta.crashes)
+        for job, lag_u in delta.orphans:
+            merged.orphans[job] = merged.orphans.get(job, 0) + lag_u
+        merged.events += delta.events
+    merged.crashes.sort()
+    return merged

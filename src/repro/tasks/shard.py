@@ -24,13 +24,24 @@ from repro.types import ShardId, TaskId
 DEFAULT_NUM_SHARDS = 1024
 
 
-def shard_id_for_task(task_id: TaskId, num_shards: int) -> ShardId:
-    """The shard a task belongs to, by MD5 hash of its id."""
+def shard_index_for_task(task_id: TaskId, num_shards: int) -> int:
+    """The numeric shard index of a task, by MD5 hash of its id.
+
+    The integer form is what the parallel substrate partitions on
+    (partition = index mod N); :func:`shard_id_for_task` formats the
+    same index as the control plane's shard id string.
+    """
     if num_shards <= 0:
         raise PlacementError(f"num_shards must be positive: {num_shards}")
-    digest = hashlib.md5(task_id.encode("utf-8")).hexdigest()
-    shard_index = int(digest, 16) % num_shards
-    return f"shard-{shard_index:05d}"
+    # int.from_bytes(digest) == int(hexdigest, 16): same 128-bit value,
+    # without materializing and re-parsing a 32-char hex string.
+    digest = hashlib.md5(task_id.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") % num_shards
+
+
+def shard_id_for_task(task_id: TaskId, num_shards: int) -> ShardId:
+    """The shard a task belongs to, by MD5 hash of its id."""
+    return f"shard-{shard_index_for_task(task_id, num_shards):05d}"
 
 
 def group_tasks_by_shard(

@@ -1,0 +1,117 @@
+"""Property tests: the parallel substrate is invisible in every export.
+
+For arbitrary small fleets, running at N partitions must produce
+byte-identical exports to the single loop — fingerprints, timelines,
+SLO reports, deterministic telemetry, and the landed metric series.
+These are the properties the golden 3-seed integration tests then pin
+on full-day scenarios.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import MetricSlice, merge_slices
+from repro.sim.parallel import run_fleet, standard_fleet
+
+_EXPORTS = ("fingerprint_json", "timeline_text", "slo_json", "telemetry_jsonl")
+
+
+def _exports(result):
+    return {name: getattr(result, name) for name in _EXPORTS}
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    partitions=st.integers(min_value=2, max_value=6),
+    num_jobs=st.integers(min_value=1, max_value=6),
+)
+def test_any_partition_count_matches_single_loop(seed, partitions, num_jobs):
+    spec = standard_fleet(
+        seed=seed,
+        total_tasks=num_jobs * 20,
+        num_jobs=num_jobs,
+        num_shards=16,
+        duration=4 * 3600.0,
+        step_interval=600.0,
+        round_interval=1800.0,
+    )
+    base = run_fleet(spec, partitions=1)
+    other = run_fleet(spec, partitions=partitions)
+    assert _exports(base) == _exports(other)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    partitions=st.integers(min_value=2, max_value=4),
+)
+def test_metric_store_series_match_single_loop(seed, partitions):
+    spec = standard_fleet(
+        seed=seed,
+        total_tasks=60,
+        num_jobs=3,
+        num_shards=8,
+        duration=3 * 3600.0,
+        step_interval=600.0,
+        round_interval=3600.0,
+    )
+    base = run_fleet(spec, partitions=1)
+    other = run_fleet(spec, partitions=partitions)
+    for job in base.store.entities_with("lag_mb"):
+        for metric in ("lag_mb", "processed_mb"):
+            assert (
+                base.store.series(job, metric).all_points()
+                == other.store.series(job, metric).all_points()
+            ), (job, metric)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    stats_divisor=st.sampled_from([2, 3, 6]),
+)
+def test_mid_round_stats_sampling_stays_identical(seed, stats_divisor):
+    """Stats timers firing inside rounds merge identically too."""
+    spec = standard_fleet(
+        seed=seed,
+        total_tasks=40,
+        num_jobs=2,
+        num_shards=8,
+        duration=2 * 3600.0,
+        step_interval=600.0,
+        round_interval=3600.0,
+        stats_interval=3600.0 / stats_divisor,
+    )
+    base = run_fleet(spec, partitions=1)
+    other = run_fleet(spec, partitions=3)
+    assert _exports(base) == _exports(other)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.sampled_from([0.0, 60.0, 120.0]),
+            st.sampled_from(["job-a", "job-b", "job-c"]),
+            st.sampled_from(["lag_mb", "processed_mb"]),
+            st.integers(min_value=0, max_value=10**9),
+        ),
+        max_size=30,
+    ),
+    pivots=st.lists(
+        st.integers(min_value=0, max_value=30), max_size=3
+    ),
+)
+def test_merge_slices_is_split_invariant(rows, pivots):
+    """However rows are split into slices, the merge is identical."""
+    rows = [(t, e, m, v / 1e6) for t, e, m, v in rows]
+    whole = MetricSlice(rows=list(rows))
+    cuts = sorted({p for p in pivots if p <= len(rows)} | {0, len(rows)})
+    pieces = [
+        MetricSlice(rows=rows[a:b]) for a, b in zip(cuts, cuts[1:])
+    ]
+    assert (
+        merge_slices([whole]).rows
+        == merge_slices(pieces or [MetricSlice()]).rows
+    )

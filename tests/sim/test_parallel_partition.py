@@ -1,0 +1,77 @@
+"""Unit tests for the MD5 shard → partition fold."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.parallel import (
+    PartitionPlan,
+    partition_for_shard,
+    partition_for_task,
+)
+from repro.tasks.shard import shard_index_for_task
+
+
+def test_partition_is_shard_modulo_n():
+    for shard in range(32):
+        assert partition_for_shard(shard, 4) == shard % 4
+
+
+def test_partition_for_task_composes_md5_and_fold():
+    task_id = "demo/job-0/3"
+    assert partition_for_task(task_id, 64, 4) == (
+        shard_index_for_task(task_id, 64) % 4
+    )
+
+
+def test_single_partition_owns_everything():
+    plan = PartitionPlan(num_shards=16, num_partitions=1)
+    assert all(plan.owns_shard(s, 0) for s in range(16))
+
+
+def test_partitions_tile_the_shard_space():
+    plan = PartitionPlan(num_shards=33, num_partitions=4)
+    owners = [
+        [p for p in range(4) if plan.owns_shard(s, p)] for s in range(33)
+    ]
+    assert all(len(who) == 1 for who in owners)
+    covered = sorted(s for p in range(4) for s in plan.shards_of(p))
+    assert covered == list(range(33))
+
+
+def test_task_ownership_matches_shard_ownership():
+    plan = PartitionPlan(num_shards=64, num_partitions=3)
+    for i in range(50):
+        task_id = f"job-0001/{i}"
+        owner = partition_for_task(task_id, 64, 3)
+        for p in range(3):
+            assert plan.owns_task(task_id, p) == (p == owner)
+
+
+def test_plan_rejects_more_partitions_than_shards():
+    with pytest.raises(SimulationError):
+        PartitionPlan(num_shards=2, num_partitions=3)
+
+
+def test_plan_rejects_nonpositive_sizes():
+    with pytest.raises(SimulationError):
+        PartitionPlan(num_shards=0, num_partitions=1)
+    with pytest.raises(SimulationError):
+        PartitionPlan(num_shards=4, num_partitions=0)
+    with pytest.raises(SimulationError):
+        partition_for_shard(1, 0)
+
+
+def test_shards_of_rejects_out_of_range_index():
+    plan = PartitionPlan(num_shards=8, num_partitions=2)
+    with pytest.raises(SimulationError):
+        plan.shards_of(2)
+
+
+def test_distribution_is_roughly_uniform():
+    """MD5 spreads realistic task ids evenly over partitions."""
+    counts = [0, 0, 0, 0]
+    for job in range(20):
+        for i in range(50):
+            counts[partition_for_task(f"job-{job:04d}/{i}", 256, 4)] += 1
+    assert sum(counts) == 1000
+    assert min(counts) > 150  # no partition starves

@@ -1,0 +1,101 @@
+"""Entity-keyed randomness for the sharded task slices.
+
+The parallel substrate's byte-identity proof rests on every stochastic
+draw being a pure function of a stable entity key — never of the
+hosting partition or the event interleaving. These tests pin the
+primitives that proof is built from:
+
+* the scalar splitmix64 finalizer and its numpy-vectorized form are
+  bit-identical (the cache builder switches between them by count, so a
+  divergence would silently split the fingerprint);
+* draws depend only on ``(seed, job, task-index)``;
+* the module-level shard-index memo agrees with the canonical paper
+  mapping in ``repro.tasks.shard``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks.shard import shard_index_for_task
+from repro.tasks.sliced import (
+    MASK64,
+    MULT_BASE,
+    MULT_SPREAD,
+    _crash_gap,
+    _job_key,
+    _mix64,
+    _shard_indexes,
+    _task_mult,
+    _u01_from_word,
+    _vmix64,
+)
+
+np = pytest.importorskip("numpy")
+
+
+class TestMixEquivalence:
+    """Scalar ``_mix64`` and vector ``_vmix64`` must agree bit-for-bit."""
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    @settings(max_examples=200)
+    def test_vector_matches_scalar_word(self, word):
+        vec = _vmix64(np.array([word], dtype=np.uint64))
+        assert int(vec[0]) == _mix64(word)
+
+    def test_vector_matches_scalar_over_task_index_range(self):
+        # The exact expression _ensure_cache vectorizes: key + i * A (+ B).
+        key = _job_key(20260808, "fleet/job-3")
+        idx = np.arange(0, 4096, dtype=np.uint64)
+        base = np.uint64(key) + idx * np.uint64(0x9E3779B97F4A7C15)
+        vec = _vmix64(base.copy())
+        for i in (0, 1, 255, 256, 257, 1023, 4095):
+            scalar = _mix64((key + i * 0x9E3779B97F4A7C15) & MASK64)
+            assert int(vec[i]) == scalar
+
+    @given(st.integers(min_value=0, max_value=MASK64))
+    @settings(max_examples=100)
+    def test_u01_in_unit_interval(self, word):
+        u = _u01_from_word(_mix64(word))
+        assert 0.0 <= u < 1.0
+
+
+class TestEntityKeyedDraws:
+    """Draws are pure functions of (seed, job, index) — never placement."""
+
+    def test_task_mult_in_documented_band(self):
+        key = _job_key(7, "job-a")
+        for tindex in range(100):
+            mult = _task_mult(key, tindex)
+            assert MULT_BASE <= mult < MULT_BASE + MULT_SPREAD
+
+    def test_crash_gap_positive_and_reproducible(self):
+        key = _job_key(7, "job-a")
+        gaps = [_crash_gap(key, tindex, k, 86400.0)
+                for tindex in range(20) for k in range(3)]
+        assert all(gap > 0.0 and math.isfinite(gap) for gap in gaps)
+        assert gaps == [_crash_gap(key, tindex, k, 86400.0)
+                        for tindex in range(20) for k in range(3)]
+
+    def test_different_entities_draw_differently(self):
+        key = _job_key(7, "job-a")
+        mults = {_task_mult(key, tindex) for tindex in range(64)}
+        assert len(mults) == 64
+        assert _task_mult(_job_key(7, "job-b"), 0) != _task_mult(key, 0)
+        assert _task_mult(_job_key(8, "job-a"), 0) != _task_mult(key, 0)
+
+
+class TestShardIndexMemo:
+    def test_memo_matches_canonical_mapping(self):
+        indexes = _shard_indexes("fleet/job-0", 64, 50)
+        assert indexes[:50] == [
+            shard_index_for_task(f"fleet/job-0/{i}", 64) for i in range(50)
+        ]
+
+    def test_memo_grows_without_rewriting_prefix(self):
+        short = list(_shard_indexes("fleet/job-9", 32, 10))
+        long = _shard_indexes("fleet/job-9", 32, 40)
+        assert long[:10] == short
+        assert len(long) >= 40
