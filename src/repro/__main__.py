@@ -181,11 +181,26 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.scenario == "list":
         for name, scenario in sorted(all_scenarios().items()):
-            print(f"  {name:24s} {scenario.description}")
+            kinds = ", ".join(
+                sorted({fault.kind for fault in scenario.faults})
+            )
+            bound = (
+                f"mttr<={scenario.expected_max_mttr:g}s"
+                if scenario.expected_max_mttr is not None
+                else "no mttr bound"
+            )
+            print(f"  {name:36s} [{kinds}] ({bound})")
+            print(f"  {'':36s} {scenario.description}")
         return 0
+    control = {} if not args.control else {
+        "durable_checkpoints": False,
+        "hot_standby": False,
+        "slow_node_detection": False,
+    }
     try:
         result = run_scenario(
-            args.scenario, seed=args.seed, replicas=args.replicas
+            args.scenario, seed=args.seed, replicas=args.replicas,
+            **control,
         )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
@@ -407,6 +422,11 @@ def main(argv=None) -> int:
     chaos.add_argument("--max-mttr", type=float, default=None,
                        help="exit 1 if any fault's recovery exceeds this "
                             "many seconds (or never happens)")
+    chaos.add_argument("--control", action="store_true",
+                       help="control arm: run with checkpoints, hot "
+                            "standbys, and slow-node detection all "
+                            "forced off (what the fault costs without "
+                            "the resiliency features)")
     chaos.add_argument("--timeline-out", metavar="FILE", default=None,
                        help="write the scenario's incident timeline here")
     chaos.add_argument("--telemetry-out", metavar="FILE", default=None,

@@ -58,6 +58,13 @@ class InvariantReport:
     lagging_replicas: List[str] = field(default_factory=list)
     #: True while the replica set has no live leader (failover pending).
     leaderless: bool = False
+    #: Task ids mid standby handoff: a promoted standby is still serving
+    #: while a freshly started primary exists for the same task. The
+    #: overlap is deliberate (the standby retires only once the primary
+    #: is confirmed), so it is *not yet converged* — but it is never a
+    #: duplicate-task safety violation; passive standbys never occupy
+    #: the task-id namespace at all.
+    promoting: List[str] = field(default_factory=list)
 
     @property
     def safety_ok(self) -> bool:
@@ -76,6 +83,7 @@ class InvariantReport:
             and not self.quarantined
             and not self.lagging_replicas
             and not self.leaderless
+            and not self.promoting
         )
 
     def violations(self) -> Dict[str, List[str]]:
@@ -94,6 +102,8 @@ class InvariantReport:
             out["lagging_replicas"] = self.lagging_replicas
         if self.leaderless:
             out["leaderless"] = ["no live job-store leader"]
+        if self.promoting:
+            out["promoting"] = self.promoting
         return out
 
 
@@ -117,9 +127,14 @@ class ConvergenceChecker:
             report.leaderless = not replication.has_leader
 
         # Duplicates: every task object on a live manager occupies the
-        # task-id namespace, whatever its state.
+        # task-id namespace, whatever its state. Standby replicas are
+        # deliberately outside that namespace — a passive replica is not
+        # a second copy of the task (it processes nothing), and a
+        # promoted one overlapping a fresh primary is the handoff
+        # protocol working as designed, tracked as ``promoting`` below.
         owners: Dict[str, List[str]] = {}
         running: set = set()
+        promoted: Dict[str, str] = {}
         for container_id in sorted(platform.task_managers):
             manager = platform.task_managers[container_id]
             if not manager.alive:
@@ -128,8 +143,15 @@ class ConvergenceChecker:
                 owners.setdefault(task_id, []).append(container_id)
                 if task.state == TaskState.RUNNING:
                     running.add(task_id)
+            for task_id, task in manager.standbys.items():
+                if task.state == TaskState.RUNNING:
+                    promoted[task_id] = container_id
+                    running.add(task_id)
         report.duplicates = sorted(
             task_id for task_id, where in owners.items() if len(where) > 1
+        )
+        report.promoting = sorted(
+            task_id for task_id in promoted if task_id in owners
         )
 
         # Placement: assigned shards must map to live registered containers.

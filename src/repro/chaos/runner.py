@@ -93,14 +93,24 @@ class ScenarioResult:
         return "\n".join(lines)
 
 
-def build_platform(seed: int, replication: bool = False, replicas=None):
+def build_platform(
+    seed: int,
+    replication: bool = False,
+    replicas=None,
+    durable_checkpoints: bool = False,
+    hot_standby: bool = False,
+    slow_node_detection: bool = False,
+):
     """The standard chaos deployment (shared with the hypothesis suites).
 
     4 hosts x 2 containers, 32 shards, scaler + health reporter attached,
     tracing and instrumentation on, three jobs (``chaos/job-0..2``) with
     steady traffic on ``cat-0..2``. With ``replication`` the Job Store
     runs as a 3-replica group over a Scribe command log (required by the
-    ``replica-crash``/``repl-log-trim`` fault kinds).
+    ``replica-crash``/``repl-log-trim`` fault kinds). The resiliency
+    toggles attach the matching data-plane feature (checkpoint plane,
+    standby plane, slow-node detector); ``hot_standby`` additionally
+    opts every chaos job into passive replicas.
     """
     from repro import JobSpec, PlatformConfig, Turbine
     from repro.workloads import TrafficDriver
@@ -115,6 +125,12 @@ def build_platform(seed: int, replication: bool = False, replicas=None):
     platform.attach_chaos()
     if replication:
         platform.attach_replication(replicas=replicas)
+    if durable_checkpoints:
+        platform.attach_checkpoints()
+    if hot_standby:
+        platform.attach_standby()
+    if slow_node_detection:
+        platform.attach_slow_node_detector()
     platform.enable_tracing()
     platform.enable_instrumentation()
     platform.start()
@@ -124,7 +140,7 @@ def build_platform(seed: int, replication: bool = False, replicas=None):
         platform.provision(
             JobSpec(job_id=job_id, input_category=f"cat-{index}",
                     task_count=2, rate_per_thread_mb=2.0,
-                    task_count_limit=16),
+                    task_count_limit=16, hot_standby=hot_standby),
         )
         driver.add_source(f"cat-{index}", lambda t, r=rate: r)
     driver.start()
@@ -136,21 +152,39 @@ def run_scenario(
     seed: int = 0,
     warmup: Seconds = WARMUP,
     replicas: Optional[int] = None,
+    durable_checkpoints: Optional[bool] = None,
+    hot_standby: Optional[bool] = None,
+    slow_node_detection: Optional[bool] = None,
 ) -> ScenarioResult:
     """Run one named (or inline) scenario on a fresh platform.
 
     ``replicas`` overrides the replica-set size; passing it also forces
-    replication on for scenarios that do not require it.
+    replication on for scenarios that do not require it. The three
+    resiliency overrides default to the scenario's own flags; passing
+    ``False`` for all of them is the control arm (``repro chaos
+    --control``) that shows what the same fault costs without the
+    feature.
     """
     scenario: ChaosScenario = (
         name_or_scenario
         if isinstance(name_or_scenario, ChaosScenario)
         else get_scenario(name_or_scenario)
     )
+
+    def _flag(override: Optional[bool], default: bool) -> bool:
+        return default if override is None else override
+
     platform = build_platform(
         seed,
         replication=scenario.replication or replicas is not None,
         replicas=replicas,
+        durable_checkpoints=_flag(
+            durable_checkpoints, scenario.durable_checkpoints
+        ),
+        hot_standby=_flag(hot_standby, scenario.hot_standby),
+        slow_node_detection=_flag(
+            slow_node_detection, scenario.slow_node_detection
+        ),
     )
     platform.run_for(seconds=warmup)
     started_at = platform.now

@@ -28,6 +28,17 @@ The registry covers the degraded modes the paper calls out:
 * ``follower-lag-snapshot-catchup`` — a follower is down long enough
   that the command log's retention horizon passes it; on rejoin it must
   bootstrap via snapshot transfer from the leader, then tail the log.
+* ``checkpoint-restore-vs-cold-restart`` — a restart-like fault wipes a
+  job's live progress offsets; with durable checkpoints attached the
+  checkpoint plane rolls forward from the latest Scribe snapshot
+  (recovery is O(since-last-checkpoint)), without them the job re-reads
+  the whole retained backlog;
+* ``standby-takeover`` — the host running a task's primary dies
+  permanently and the passive hot-standby replica on another host is
+  promoted within one standby tick, beating the 40 s reboot clock;
+* ``gray-node-drain`` — a host degrades to a fraction of its throughput
+  without failing a single health check; the slow-node detector drains
+  the gray containers so shards migrate to healthy hosts.
 """
 
 from __future__ import annotations
@@ -49,7 +60,21 @@ FAULT_KINDS = (
     "oncall-patch",
     "replica-crash",
     "repl-log-trim",
+    "checkpoint-wipe",
+    "slow-node",
 )
+
+#: Recovery watch kinds a measured fault can request.
+#:
+#: * ``convergence`` — the classic clock: opens when the fault clears,
+#:   closes at the first fully converged invariant sample;
+#: * ``lag`` — opens at inject (baseline = the target job's backlog just
+#:   before the fault), closes when the backlog is back at baseline;
+#: * ``takeover`` — opens at inject, closes when every spec of the
+#:   target task's job has a RUNNING task (or promoted standby) on a
+#:   live manager. Sampled on a fine 1 s timer so sub-5 s takeovers are
+#:   resolvable.
+WATCH_KINDS = ("convergence", "lag", "takeover")
 
 
 @dataclass(frozen=True)
@@ -60,17 +85,25 @@ class Fault:
     the fault is an instantaneous action with nothing to clear; otherwise
     the fault clears at ``at + duration`` and, when ``measure`` is true,
     the chaos engine measures MTTR from that clear to the first
-    convergence-check pass.
+    convergence-check pass. A non-default ``watch`` (see
+    :data:`WATCH_KINDS`) times recovery from *inject* against a
+    fault-specific predicate instead, which also lets instantaneous
+    faults (``duration=None``) be measured.
     """
 
     kind: str
     at: Seconds
     duration: Optional[Seconds] = None
-    #: Host id, Scribe category, or job id — depending on ``kind``.
+    #: Host id, Scribe category, job id, or ``"task-of:<task_id>"``
+    #: (resolved at inject time to the host running that task) —
+    #: depending on ``kind``.
     target: str = ""
-    #: Config overlay for ``oncall-patch``.
+    #: Config overlay for ``oncall-patch``; ``{"factor": f}`` for
+    #: ``slow-node``.
     payload: Optional[Mapping[str, object]] = None
     measure: bool = True
+    #: Which recovery predicate closes this fault's MTTR clock.
+    watch: str = "convergence"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -79,6 +112,10 @@ class Fault:
             raise ValueError(f"fault time must be non-negative: {self.at}")
         if self.duration is not None and self.duration <= 0:
             raise ValueError(f"fault duration must be positive: {self.duration}")
+        if self.watch not in WATCH_KINDS:
+            raise ValueError(
+                f"unknown watch kind {self.watch!r} (known: {WATCH_KINDS})"
+            )
 
     @property
     def key(self) -> str:
@@ -102,12 +139,30 @@ class ChaosScenario:
     #: (a replicated ``job-store-outage`` would fail over and self-heal,
     #: which is a different experiment — see the replication scenarios).
     replication: bool = False
+    #: Whether the platform runs with durable task checkpoints to Scribe
+    #: (the :mod:`repro.tasks.checkpoint` plane) attached.
+    durable_checkpoints: bool = False
+    #: Whether jobs opt into hot-standby replicas and the standby plane
+    #: is attached.
+    hot_standby: bool = False
+    #: Whether the gray-failure (slow-node) detector is attached.
+    slow_node_detection: bool = False
+    #: The documented recovery bound for this scenario's worst measured
+    #: fault, in seconds (``None`` = no published bound). Rendered by
+    #: ``repro chaos list`` and enforced in CI via ``--max-mttr``.
+    expected_max_mttr: Optional[Seconds] = None
 
     def measured_faults(self) -> Tuple[Fault, ...]:
-        """The faults whose recovery the engine times."""
+        """The faults whose recovery the engine times.
+
+        A fault is measured when it asked to be (``measure``) and either
+        has a window to recover from (``duration``) or a non-default
+        watch (those time from inject, so instantaneous faults qualify).
+        """
         return tuple(
             fault for fault in self.faults
-            if fault.measure and fault.duration is not None
+            if fault.measure
+            and (fault.duration is not None or fault.watch != "convergence")
         )
 
 
@@ -254,6 +309,75 @@ def _follower_lag_snapshot_catchup() -> ChaosScenario:
     )
 
 
+def _checkpoint_restore_vs_cold_restart() -> ChaosScenario:
+    return ChaosScenario(
+        name="checkpoint-restore-vs-cold-restart",
+        description=(
+            "A restart-like fault wipes job-0's live progress offsets. "
+            "With durable checkpoints the checkpoint plane detects the "
+            "regression and rolls the offsets forward from the latest "
+            "Scribe snapshot, so only the last checkpoint interval is "
+            "re-read; the lag watch times inject until the backlog is "
+            "back at its pre-fault baseline. Run with --control to "
+            "watch the cold restart re-read the whole retained backlog "
+            "instead."
+        ),
+        faults=(
+            # 75 s, deliberately off the checkpoint plane's 30 s tick
+            # grid: the wipe lands mid-interval, so the measured MTTR
+            # includes the realistic wait for the next plane tick.
+            Fault("checkpoint-wipe", at=75.0, target="chaos/job-0",
+                  watch="lag"),
+        ),
+        durable_checkpoints=True,
+        expected_max_mttr=90.0,
+    )
+
+
+def _standby_takeover() -> ChaosScenario:
+    return ChaosScenario(
+        name="standby-takeover",
+        description=(
+            "The host running job-0's task 0 dies permanently (no "
+            "recovery). The passive hot-standby replica on a different "
+            "host is promoted within one standby tick; the takeover "
+            "watch times inject until every task of the job is RUNNING "
+            "again — beating the 40 s connection-timeout reboot clock a "
+            "cold restart pays. Promotion is audited exactly-once via "
+            "the standby promotion log; run with --control for the "
+            "cold-restart arm."
+        ),
+        faults=(
+            Fault("host-failure", at=55.0, target="task-of:chaos/job-0:0",
+                  watch="takeover"),
+        ),
+        hot_standby=True,
+        expected_max_mttr=5.0,
+    )
+
+
+def _gray_node_drain() -> ChaosScenario:
+    return ChaosScenario(
+        name="gray-node-drain",
+        description=(
+            "A host degrades to 10% throughput for 6 min without "
+            "failing a single health check (gray failure). The "
+            "slow-node detector compares per-task rates against the "
+            "job median, confirms the suspicion over consecutive "
+            "rounds, and drains the gray containers so their shards "
+            "migrate to healthy hosts; the drained containers keep "
+            "heartbeating and are undrained after the cooldown."
+        ),
+        faults=(
+            Fault("slow-node", at=60.0, duration=360.0,
+                  target="task-of:chaos/job-0:0",
+                  payload={"factor": 0.1}),
+        ),
+        slow_node_detection=True,
+        expected_max_mttr=60.0,
+    )
+
+
 #: Name → scenario. The registry is rebuilt per call so scenario tuples
 #: can never be mutated by one run and leak into the next.
 def all_scenarios() -> Dict[str, ChaosScenario]:
@@ -266,6 +390,9 @@ def all_scenarios() -> Dict[str, ChaosScenario]:
         _scribe_partition_loss(),
         _leader_crash_mid_plan(),
         _follower_lag_snapshot_catchup(),
+        _checkpoint_restore_vs_cold_restart(),
+        _standby_takeover(),
+        _gray_node_drain(),
     )
     return {scenario.name: scenario for scenario in scenarios}
 

@@ -32,6 +32,7 @@ KEY_SLO = "slo"                      # {"max_lag_seconds": float, ...}
 KEY_STATE_KEY_CARDINALITY = "state_key_cardinality"  # stateful memory model
 KEY_PERF = "perf"                    # {"rate_per_thread_mb": float} — true P
 KEY_MEMORY_OVERHEAD = "memory_overhead_gb"  # per-task constant buffer extra
+KEY_HOT_STANDBY = "hot_standby"      # bool — keep a passive replica warm
 
 #: Byte quantities across the library are expressed in megabytes (MB) and
 #: rates in MB/s; the paper reports GB/s at cluster level, which is MB/s
@@ -87,6 +88,11 @@ class JobSpec:
     #: buffering: "memory consumption is proportional to the average
     #: message size" (paper section VI).
     memory_overhead_gb: float = 0.0
+    #: Opt into hot-standby replicas: a passive copy of every task stays
+    #: warm on a different host for sub-second takeover (at the cost of
+    #: the replicas' reservations). Requires the platform's standby
+    #: plane to be attached; a plain platform ignores the flag.
+    hot_standby: bool = False
 
     def __post_init__(self) -> None:
         if self.rate_per_thread_mb <= 0:
@@ -146,6 +152,10 @@ class JobSpec:
             }
         if self.stateful:
             config[KEY_STATE_KEY_CARDINALITY] = self.state_key_cardinality
+        if self.hot_standby:
+            # Emitted only when set, so configs of jobs that never opt in
+            # stay byte-identical to their pre-standby form.
+            config[KEY_HOT_STANDBY] = True
         return config
 
 

@@ -43,8 +43,19 @@ OOM_WINDOW: Seconds = 600.0
 #: Per-job lag objective when the job's config does not declare one.
 DEFAULT_LAG_SLO: Seconds = 90.0
 
+#: Trailing window in which a recovery-lag sample judges a job; outside
+#: it the SLI reads "no data" again, so one bad recovery last week does
+#: not burn budget forever.
+RECOVERY_WINDOW: Seconds = 600.0
+
 #: The per-job SLI names :meth:`SliEvaluator.job_sli` can evaluate.
-SLI_NAMES = ("lag_seconds", "freshness_seconds", "availability", "oom_rate")
+SLI_NAMES = (
+    "lag_seconds",
+    "freshness_seconds",
+    "availability",
+    "oom_rate",
+    "task.recovery_lag",
+)
 
 
 @dataclass(frozen=True)
@@ -135,6 +146,20 @@ class SliEvaluator:
         series = self._metrics.series(job_id, "oom_events")
         return float(series.count_between(now - OOM_WINDOW, now))
 
+    def recovery_lag(self, job_id: JobId, now: Seconds) -> Optional[float]:
+        """Newest recovery lag, in seconds — or ``None`` without a recent one.
+
+        A ``recovery_lag`` sample is recorded by the Task Managers when a
+        failed task posts its first post-recovery progress (an OOM restart
+        finishing its state restore, or a promoted standby's first
+        processed byte). Only samples inside :data:`RECOVERY_WINDOW`
+        judge the job, all through streaming reads.
+        """
+        series = self._metrics.series(job_id, "recovery_lag")
+        if series.count_between(now - RECOVERY_WINDOW, now) == 0:
+            return None
+        return self._metrics.latest(job_id, "recovery_lag")
+
     def job_sli(self, job_id: JobId, name: str, now: Seconds) -> Optional[float]:
         """Evaluate one named SLI for one job (``None`` = no data yet)."""
         self.evaluations += 1
@@ -146,6 +171,8 @@ class SliEvaluator:
             return self.availability(job_id)
         if name == "oom_rate":
             return self.oom_rate(job_id, now)
+        if name == "task.recovery_lag":
+            return self.recovery_lag(job_id, now)
         raise ValueError(f"unknown SLI {name!r} (known: {', '.join(SLI_NAMES)})")
 
     # ------------------------------------------------------------------

@@ -140,6 +140,14 @@ def default_slo_specs() -> Tuple[SloSpec, ...]:
             runbook="repeated OOM kills: check the vertical scaler's memory "
                     "headroom and the job's recent input growth",
         ),
+        SloSpec(
+            name="recovery", sli="task.recovery_lag", target=0.99,
+            compliance_window=6 * 3600.0, threshold=120.0,
+            runbook="slow task recovery: check checkpoint-plane restores "
+                    "(cold restarts re-read the whole backlog), whether the "
+                    "job should opt into hot standbys, and the Shard "
+                    "Manager's failover backlog",
+        ),
     )
 
 

@@ -64,6 +64,9 @@ class IncidentTimeline:
         collected.extend(self._failure_events())
         collected.extend(self._chaos_events())
         collected.extend(self._replication_events())
+        collected.extend(self._checkpoint_events())
+        collected.extend(self._standby_events())
+        collected.extend(self._slow_node_events())
         collected.extend(self._health_events())
         collected.extend(self._slo_events())
         collected.extend(self._trace_events())
@@ -184,6 +187,42 @@ class IncidentTimeline:
         return [
             TimelineEvent(event.time, "replication", event.kind, event.detail)
             for event in replication.events
+        ]
+
+    def _checkpoint_events(self) -> List[TimelineEvent]:
+        """Checkpoint restores and retention fallbacks.
+
+        Routine checkpoint appends are counters, not events, so a
+        fault-free run contributes nothing here (same contract as the
+        replication collector).
+        """
+        plane = getattr(self._platform, "checkpoint_plane", None)
+        if plane is None:
+            return []
+        return [
+            TimelineEvent(event.time, "checkpoint", event.kind, event.detail)
+            for event in plane.events
+        ]
+
+    def _standby_events(self) -> List[TimelineEvent]:
+        """Standby promotions, handoffs, and retirements (incident-only:
+        routine replica placement is never recorded)."""
+        standby = getattr(self._platform, "standby", None)
+        if standby is None:
+            return []
+        return [
+            TimelineEvent(event.time, "standby", event.kind, event.detail)
+            for event in standby.events
+        ]
+
+    def _slow_node_events(self) -> List[TimelineEvent]:
+        """Gray-node drains and undrains from the slow-node detector."""
+        detector = getattr(self._platform, "slow_nodes", None)
+        if detector is None:
+            return []
+        return [
+            TimelineEvent(event.time, "slow-node", event.kind, event.detail)
+            for event in detector.events
         ]
 
     def _health_events(self) -> List[TimelineEvent]:

@@ -88,6 +88,14 @@ class PlatformConfig:
     #: N > 1 slices the fleet by the MD5 shard mapping into N engines
     #: whose merged exports stay byte-identical to the single loop.
     parallel_partitions: int = 1
+    #: Data-plane resiliency toggles (all off by default — with every
+    #: toggle off the platform is byte-identical to one built before
+    #: these features existed; the transparency suite asserts it).
+    durable_checkpoints: bool = False
+    checkpoint_interval: Seconds = 30.0
+    checkpoint_retention: int = 16
+    hot_standby: bool = False
+    slow_node_detection: bool = False
 
 
 class Turbine:
@@ -149,6 +157,11 @@ class Turbine:
         self.sli = None
         self.slo = None
         self.replication = None
+        #: Data-plane resiliency planes (see :meth:`attach_checkpoints`,
+        #: :meth:`attach_standby`, :meth:`attach_slow_node_detector`).
+        self.checkpoint_plane = None
+        self.standby = None
+        self.slow_nodes = None
         self._started = False
         cluster.on_host_failure.append(self._on_host_failure)
 
@@ -278,6 +291,79 @@ class Turbine:
             self.replication.start()
         return self.replication
 
+    def attach_checkpoints(self, interval=None, retention=None):
+        """Attach the durable checkpoint plane (Scribe-backed snapshots).
+
+        Periodically snapshots every job's committed offsets into a
+        per-job command log and rolls the live cursors forward when they
+        regress (a cursor wipe, or a task restarting from scratch).
+        Fault-free behavior is byte-identical to a platform without it.
+        """
+        from repro.tasks.checkpoint import (
+            CHECKPOINT_INTERVAL,
+            CHECKPOINT_RETENTION,
+            CheckpointPlane,
+        )
+
+        if interval is None:
+            interval = (
+                self.config.checkpoint_interval
+                if self.config.checkpoint_interval is not None
+                else CHECKPOINT_INTERVAL
+            )
+        if retention is None:
+            retention = (
+                self.config.checkpoint_retention
+                if self.config.checkpoint_retention is not None
+                else CHECKPOINT_RETENTION
+            )
+        self.checkpoint_plane = CheckpointPlane(
+            self.engine, self.scribe, self.task_service,
+            interval=interval, retention=retention,
+            telemetry=self.telemetry,
+        )
+        for manager in self.task_managers.values():
+            manager.checkpoint_plane = self.checkpoint_plane
+        if self._started:
+            self.checkpoint_plane.start()
+        return self.checkpoint_plane
+
+    def attach_standby(self, interval=None):
+        """Attach the hot-standby plane (passive replicas, fast takeover).
+
+        Only jobs provisioned with ``hot_standby=True`` get replicas; a
+        platform with the plane attached but no opted-in jobs behaves
+        byte-identically to one without the plane.
+        """
+        from repro.tasks.standby import STANDBY_INTERVAL, StandbyPlane
+
+        self.standby = StandbyPlane(
+            self.engine, self,
+            interval=interval if interval is not None else STANDBY_INTERVAL,
+            telemetry=self.telemetry,
+        )
+        for manager in self.task_managers.values():
+            manager.standby_plane = self.standby
+        if self._started:
+            self.standby.start()
+        return self.standby
+
+    def attach_slow_node_detector(self, **kwargs):
+        """Attach the gray-failure (slow-node) detector.
+
+        Compares per-task rates against the job median and drains
+        containers that stay persistently slow; see
+        :mod:`repro.tasks.slow_node` for thresholds.
+        """
+        from repro.tasks.slow_node import SlowNodeDetector
+
+        self.slow_nodes = SlowNodeDetector(
+            self.engine, self, telemetry=self.telemetry, **kwargs
+        )
+        if self._started:
+            self.slow_nodes.start()
+        return self.slow_nodes
+
     def attach_capacity_manager(self, capacity_config=None):
         """Attach the Capacity Manager (requires an attached scaler)."""
         from repro.scaler.capacity import CapacityManager
@@ -350,6 +436,14 @@ class Turbine:
         """Allocate containers, start every service, place all shards."""
         if self._started:
             return
+        # Config-driven resiliency planes attach before the managers
+        # spawn, so every manager is wired to them from the first task.
+        if self.config.durable_checkpoints and self.checkpoint_plane is None:
+            self.attach_checkpoints()
+        if self.config.hot_standby and self.standby is None:
+            self.attach_standby()
+        if self.config.slow_node_detection and self.slow_nodes is None:
+            self.attach_slow_node_detector()
         self._started = True
         containers = self.cluster.allocate_fleet(
             self.config.containers_per_host, self.config.container_capacity
@@ -370,6 +464,12 @@ class Turbine:
             self.slo.start()
         if self.replication is not None:
             self.replication.start()
+        if self.checkpoint_plane is not None:
+            self.checkpoint_plane.start()
+        if self.standby is not None:
+            self.standby.start()
+        if self.slow_nodes is not None:
+            self.slow_nodes.start()
 
     def _spawn_manager(self, container) -> TaskManager:
         manager = TaskManager(
@@ -388,6 +488,8 @@ class Turbine:
             tracer=self.tracer,
             telemetry=self.telemetry,
         )
+        manager.standby_plane = self.standby
+        manager.checkpoint_plane = self.checkpoint_plane
         self.task_managers[container.container_id] = manager
         manager.start()
         return manager
@@ -507,14 +609,16 @@ class Turbine:
         )
 
     def tasks_of_job(self, job_id: JobId) -> List[str]:
-        """Running task ids of one job."""
-        return sorted(
+        """Running task ids of one job (promoted standbys included)."""
+        running = {
             task.spec.task_id
             for manager in self.task_managers.values()
             if manager.alive
-            for task in manager.tasks.values()
+            for task in list(manager.tasks.values())
+            + list(manager.standbys.values())
             if task.spec.job_id == job_id and task.state == TaskState.RUNNING
-        )
+        }
+        return sorted(running)
 
     def job_lag_mb(self, job_id: JobId) -> float:
         """Unprocessed bytes (MB) in the job's input category.

@@ -356,6 +356,14 @@ class _CachedPlacement:
     shard_regions: Dict[ShardId, str]
     assignment: Dict[ShardId, ContainerId]
     internals: _PlacementInternals
+    #: True when the cached round produced zero moves. Only then is its
+    #: output a provable fixed point: the round's container loads were
+    #: accumulated purely in phase-1 order, so an identical re-run is
+    #: bit-identical. A round that *moved* shards left loads computed via
+    #: move arithmetic (+x then -x), and a from-scratch recomputation of
+    #: the same assignment can land on the other side of the band
+    #: boundary — serving a hit there would diverge from fresh compute.
+    settled: bool = False
 
 
 class PlacementCache:
@@ -431,6 +439,7 @@ class PlacementCache:
             loads_same
             and capacities_same
             and cached.internals.stable
+            and cached.settled
             and dict(current) == cached.assignment
         ):
             self.hits += 1
@@ -517,6 +526,7 @@ class PlacementCache:
             shard_regions=dict(shard_regions),
             assignment=dict(change.assignment),
             internals=internals,
+            settled=not change.moves,
         )
 
 

@@ -91,6 +91,23 @@ class TaskManager:
         self.assigned_shards: set = set()
         self.tasks: Dict[TaskId, RunningTask] = {}
         self._task_shard: Dict[TaskId, ShardId] = {}
+        #: Hot-standby replicas hosted here, keyed by the primary's task
+        #: id. Kept out of ``tasks`` on purpose: standbys have no shard
+        #: assignment, so reconciliation and load reporting must never
+        #: see them (a passive replica is invisible to the control plane
+        #: until the standby plane promotes it).
+        self.standbys: Dict[TaskId, RunningTask] = {}
+        #: Gray-failure model: a slow node degrades every task's
+        #: throughput by this factor without failing a single health
+        #: check (heartbeats keep flowing). 1.0 = healthy.
+        self.slow_factor = 1.0
+        #: Optional resiliency planes, wired by the platform when the
+        #: corresponding features are enabled.
+        self.standby_plane = None
+        self.checkpoint_plane = None
+        #: When each task last failed, for the task.recovery_lag SLI
+        #: (failure -> first post-recovery progress sample).
+        self._failed_at: Dict[TaskId, Seconds] = {}
         #: Last-known-good shard index for degraded-mode operation
         #: ("containers run tasks based on existing snapshots", IV-D).
         self._index_lkg: LastKnownGood = LastKnownGood()
@@ -264,6 +281,16 @@ class TaskManager:
                 existing.restart()
 
     def _start_task(self, spec: TaskSpec, shard_id: ShardId) -> None:
+        # Exactly-once handoff: if a promoted standby is covering for this
+        # task anywhere in the fleet, retire it before the real task
+        # starts, so two incarnations never process the same partitions.
+        if self.standby_plane is not None:
+            self.standby_plane.release_for_start(spec.task_id)
+        # Durable checkpoints: roll the live cursors forward to the last
+        # snapshot so a restart resumes from O(since-last-checkpoint)
+        # instead of the backlog horizon.
+        if self.checkpoint_plane is not None:
+            self.checkpoint_plane.on_task_start(spec.job_id)
         task = RunningTask(spec, self._scribe)
         self.tasks[spec.task_id] = task
         self._task_shard[spec.task_id] = shard_id
@@ -302,6 +329,11 @@ class TaskManager:
         ]
         for task_id in doomed:
             self._stop_task(task_id)
+        for task_id in [
+            tid for tid, task in self.standbys.items()
+            if task.spec.job_id == job_id
+        ]:
+            self.drop_standby(task_id)
         return len(doomed)
 
     def _stop_shard_tasks(self, shard_id: ShardId) -> None:
@@ -313,6 +345,28 @@ class TaskManager:
     def _stop_all_tasks(self) -> None:
         for task_id in list(self.tasks):
             self._stop_task(task_id)
+        for task_id in list(self.standbys):
+            self.drop_standby(task_id)
+
+    # ------------------------------------------------------------------
+    # Hot-standby hosting (driven by the standby plane)
+    # ------------------------------------------------------------------
+    def adopt_standby(self, task: RunningTask) -> None:
+        """Host a passive replica; reserves resources like a real task."""
+        task_id = task.spec.task_id
+        self.standbys[task_id] = task
+        self.container.reserve(f"standby:{task_id}", task.spec.resources)
+
+    def drop_standby(self, task_id: TaskId) -> Optional[RunningTask]:
+        """Stop and release a hosted replica (promoted or passive)."""
+        task = self.standbys.pop(task_id, None)
+        if task is None:
+            return None
+        task.stop()
+        key = f"standby:{task_id}"
+        if key in self.container.reservations:
+            self.container.release(key)
+        return task
 
     # ------------------------------------------------------------------
     # Periodic: heartbeat and the 40-second connection timeout
@@ -406,8 +460,16 @@ class TaskManager:
             desired = sum(
                 task.desired_cores(dt) for task in self.tasks.values()
             )
+            if self.standbys:
+                desired += sum(
+                    task.desired_cores(dt) for task in self.standbys.values()
+                )
             if desired > capacity_cpu:
                 throttle = capacity_cpu / desired
+        # A gray node processes slower without looking unhealthy: the
+        # degradation lands in the data-plane throttle, never in
+        # heartbeats or liveness.
+        throttle *= self.slow_factor
         # Coalesced sampling: gather every task's usage samples and land
         # them in one batched store call per step event, instead of three
         # store round-trips per task.
@@ -415,22 +477,45 @@ class TaskManager:
             [] if self._record_task_metrics and self._metrics is not None
             else None
         )
-        for task_id, task in self.tasks.items():
+        step_items = list(self.tasks.items())
+        if self.standbys:
+            # Passive replicas no-op inside step() (STANDBY is not
+            # RUNNING); promoted ones process like any primary.
+            step_items.extend(self.standbys.items())
+        for task_id, task in step_items:
             was_running = task.state == TaskState.RUNNING
             task.step(dt, throttle=throttle)
             if was_running and task.state == TaskState.CRASHED:
                 self._handle_oom(task)
-            if samples is not None:
+            if (
+                task_id in self._failed_at
+                and task.state == TaskState.RUNNING
+                and task.last_rate_mb > 0
+            ):
+                # First post-recovery progress sample: close the
+                # recovery-lag window for the task.recovery_lag SLI.
+                lag = now - self._failed_at.pop(task_id)
+                if self._metrics is not None:
+                    self._metrics.record(
+                        task.spec.job_id, "recovery_lag", now, lag
+                    )
+            if samples is not None and task.state != TaskState.STANDBY:
                 samples.append((task_id, "cpu_used", task.last_cpu_used))
                 samples.append((task_id, "memory_gb", task.memory_needed_gb()))
                 samples.append((task_id, "rate_mb", task.last_rate_mb))
         if samples:
             self._metrics.record_many(now, samples)
 
+    def note_task_failure(self, task_id: TaskId, at: Seconds) -> None:
+        """Open a recovery-lag window (used by the standby plane, whose
+        promoted replica's first progress sample closes it)."""
+        self._failed_at[task_id] = at
+
     def _handle_oom(self, task: RunningTask) -> None:
         """Read preserved OOM stats and post them to the metric system
         (paper section V-A); restart the task from its checkpoint."""
         self.oom_events += 1
+        self._failed_at[task.spec.task_id] = self._engine.now
         if self._metrics is not None:
             self._metrics.record(
                 task.spec.job_id, "oom_events", self._engine.now, 1.0
@@ -476,12 +561,22 @@ class TaskManager:
     # Introspection
     # ------------------------------------------------------------------
     def running_task_ids(self) -> List[TaskId]:
-        """Tasks currently in RUNNING state (sorted)."""
-        return sorted(
+        """Tasks currently in RUNNING state (sorted).
+
+        Promoted standbys count — they *are* the running incarnation
+        while the takeover window is open.
+        """
+        running = {
             task_id
             for task_id, task in self.tasks.items()
             if task.state == TaskState.RUNNING
+        }
+        running.update(
+            task_id
+            for task_id, task in self.standbys.items()
+            if task.state == TaskState.RUNNING
         )
+        return sorted(running)
 
     def __repr__(self) -> str:
         return (

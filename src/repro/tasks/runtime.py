@@ -57,10 +57,14 @@ STATE_RESTORE_RATE_MB = 200.0
 class RunningTask:
     """One task instance executing inside a Turbine container."""
 
-    def __init__(self, spec: TaskSpec, scribe: ScribeBus) -> None:
+    def __init__(
+        self, spec: TaskSpec, scribe: ScribeBus, passive: bool = False
+    ) -> None:
         self.spec = spec
         self._scribe = scribe
-        self.state = TaskState.RUNNING
+        self.state = TaskState.STANDBY if passive else TaskState.RUNNING
+        #: True once a passive standby has been promoted to primary.
+        self.promoted = False
         self.oom_count = 0
         #: Bytes (MB) processed since start, for per-task rate metrics.
         self.total_processed_mb = 0.0
@@ -69,7 +73,12 @@ class RunningTask:
         self.last_cpu_used = 0.0
         self._partitions: Optional[List[Partition]] = None
         #: Stateful tasks must re-load their state before processing.
-        self.restore_remaining_mb = self._initial_state_mb()
+        #: A passive standby tails the primary's checkpoint stream, so its
+        #: state is already warm — promotion skips the restore entirely
+        #: (that is the whole point of paying for the replica).
+        self.restore_remaining_mb = (
+            0.0 if passive else self._initial_state_mb()
+        )
 
     def _initial_state_mb(self) -> float:
         if not self.spec.stateful or self.spec.task_count <= 0:
@@ -259,6 +268,21 @@ class RunningTask:
         """
         self.state = TaskState.RUNNING
         self.restore_remaining_mb = self._initial_state_mb()
+
+    def promote(self) -> None:
+        """Promote a passive standby to primary.
+
+        The replica has been tailing the primary's checkpoint stream, so
+        it starts processing immediately — no reboot clock, no state
+        restore. Promoting a non-standby is a bug, not a no-op.
+        """
+        if self.state != TaskState.STANDBY:
+            raise ValueError(
+                f"cannot promote {self.spec.task_id}: state is "
+                f"{self.state.value}, not standby"
+            )
+        self.state = TaskState.RUNNING
+        self.promoted = True
 
     def __repr__(self) -> str:
         return (

@@ -118,6 +118,12 @@ class ShardManager:
         #: When False, periodic rebalancing is skipped (the Fig. 7
         #: experiment toggles this).
         self.balancing_enabled = True
+        #: Containers administratively drained (e.g. by the slow-node
+        #: detector): they stay registered and heartbeating — a gray node
+        #: is *not* dead, and unregistering it would spuriously arm its
+        #: 40 s reboot clock — but they receive no shard placement until
+        #: un-drained.
+        self.drained: set = set()
         #: Placement decision cache (exactly equivalent to from-scratch
         #: computation; see repro.tasks.balancer). Disable to force every
         #: round through the full algorithm — results are identical either
@@ -467,6 +473,69 @@ class ShardManager:
             FailoverEvent(self._engine.now, container_id, moved)
         )
 
+    # ------------------------------------------------------------------
+    # Administrative drain (gray-failure mitigation)
+    # ------------------------------------------------------------------
+    def drain(self, container_id: ContainerId) -> int:
+        """Gracefully move every shard off a container and stop placing
+        new ones there.
+
+        The container keeps its registration and heartbeats (it is slow,
+        not dead — see :mod:`repro.tasks.slow_node`), so neither its
+        reboot clock nor the fail-over detector fires. Returns the number
+        of shards moved.
+        """
+        if not self.available:
+            return 0
+        self.drained.add(container_id)
+        orphaned = self.shards_of(container_id)
+        if not orphaned:
+            return 0
+        live = self._live_containers()
+        if not live:
+            # Nowhere to move the shards: keep serving on the gray node
+            # (slow beats stopped) and retry when capacity returns.
+            self.drained.discard(container_id)
+            return 0
+        capacities = {
+            cid: manager.capacity for cid, manager in live.items()
+        }
+        current = {
+            shard_id: owner
+            for shard_id, owner in self.assignment.items()
+            if owner in live
+        }
+        placement = self._compute_placement(
+            {**{s: self.shard_loads.get(s, DEFAULT_SHARD_LOAD)
+                for s in current},
+             **{s: self.shard_loads.get(s, DEFAULT_SHARD_LOAD)
+                for s in orphaned}},
+            capacities,
+            current,
+            container_regions={
+                cid: manager.region for cid, manager in live.items()
+            },
+        )
+        drain_event: Optional[TraceEvent] = None
+        if self._tracer.enabled:
+            drain_event = self._tracer.record(
+                "shard-manager", "drain",
+                container=container_id, shards=len(orphaned),
+            )
+        moved = 0
+        for shard_id in orphaned:
+            self._move_shard(
+                shard_id, container_id, placement.assignment[shard_id],
+                parent=drain_event,
+            )
+            moved += 1
+        self._telemetry.inc("shard_manager.drains")
+        return moved
+
+    def undrain(self, container_id: ContainerId) -> None:
+        """Return a drained container to the placement pool."""
+        self.drained.discard(container_id)
+
     def live_managers(self) -> List["TaskManager"]:
         """All live registered Task Managers (sorted by container id)."""
         live = self._live_containers()
@@ -476,7 +545,7 @@ class ShardManager:
         return {
             container_id: manager
             for container_id, manager in self._managers.items()
-            if manager.alive
+            if manager.alive and container_id not in self.drained
         }
 
     def __repr__(self) -> str:

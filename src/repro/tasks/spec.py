@@ -15,6 +15,7 @@ from typing import Any, Dict
 from repro.cluster.resources import ResourceVector
 from repro.errors import TurbineError
 from repro.jobs.model import (
+    KEY_HOT_STANDBY,
     KEY_INPUT,
     KEY_MEMORY_OVERHEAD,
     KEY_PACKAGE,
@@ -58,6 +59,12 @@ class TaskSpec:
     state_key_cardinality: int = 0
     #: Constant per-task memory extra (message-size buffering), GB.
     memory_overhead_gb: float = 0.0
+    #: Opt-in hot-standby replica: the standby plane keeps a passive
+    #: copy of this task warm on a different host and promotes it when
+    #: the primary's container dies. Deliberately NOT part of
+    #: ``settings_fingerprint`` — toggling it must not restart the
+    #: primary; only the standby plane reacts.
+    hot_standby: bool = False
 
     def __post_init__(self) -> None:
         if not 0 <= self.task_index < self.task_count:
@@ -96,6 +103,7 @@ class TaskSpec:
             rate_per_thread_mb=float(perf.get("rate_per_thread_mb", 2.0)),
             state_key_cardinality=int(config.get(KEY_STATE_KEY_CARDINALITY, 0)),
             memory_overhead_gb=float(config.get(KEY_MEMORY_OVERHEAD, 0.0)),
+            hot_standby=bool(config.get(KEY_HOT_STANDBY, False)),
         )
 
     #: Specs are hashable on task_id + package version so managers can

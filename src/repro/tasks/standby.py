@@ -1,0 +1,293 @@
+"""Hot-standby replicas with sub-heartbeat takeover.
+
+The reboot-clock math in section IV-C makes a cold recovery expensive: a
+lost container costs the 40 s connection timeout (or the 60 s fail-over
+interval) before its tasks even *begin* restarting elsewhere, plus a full
+state restore for stateful jobs. For jobs that opt in
+(``hot_standby: true`` in their config), the ``StandbyPlane`` keeps a
+passive replica of every task placed on a container of a *different host*
+than the primary. The replica tails the primary's checkpoint stream — its
+state is warm — so when the primary's container dies, promotion is a
+state flip on the next plane tick (1 s), not a reboot.
+
+Exactly-once is preserved by construction:
+
+* A passive replica is in ``TaskState.STANDBY``: ``step()`` processes
+  nothing, so it can never duplicate the primary's work.
+* Promotion happens only when no alive manager runs the primary, and every
+  promotion is appended to the ``turbine.standby.promotions`` command log
+  as a canonical-JSON record — the audit trail the takeover drill decodes.
+* When the control plane eventually restarts the real task (shard
+  fail-over), the Task Manager calls :meth:`release_for_start` *before*
+  starting it, retiring the promoted replica first. Both incarnations
+  advance the same per-partition checkpoints, so the handoff neither
+  loses nor replays a byte.
+
+Routine placement records no events; only promotions, handoffs, and
+retirements land in the incident timeline — a fault-free run with the
+plane attached renders the same timeline as one without it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import DegradedModeError
+from repro.obs.bounded import BoundedList
+from repro.tasks.runtime import RunningTask
+from repro.tasks.spec import TaskSpec
+from repro.types import ContainerId, Seconds, TaskId, TaskState
+
+#: Plane tick. One tick is the promotion latency bound — well under the
+#: 10 s heartbeat, let alone the 40 s reboot clock.
+STANDBY_INTERVAL: Seconds = 1.0
+
+#: Scribe category recording every promotion (the exactly-once audit log).
+PROMOTION_LOG = "turbine.standby.promotions"
+
+
+@dataclass
+class StandbyEvent:
+    """An incident-worthy standby-plane event."""
+
+    time: Seconds
+    kind: str  # "standby-promote" | "standby-handoff" | "standby-retire"
+    detail: str
+
+
+@dataclass(frozen=True)
+class PromotionRecord:
+    """One takeover, as kept in memory for reports and goldens."""
+
+    time: Seconds
+    task_id: TaskId
+    container_id: ContainerId
+    #: Seconds between the primary's last observed liveness and promotion.
+    takeover_lag: Seconds
+
+
+class StandbyPlane:
+    """Places passive replicas and promotes them when primaries die."""
+
+    def __init__(
+        self,
+        engine,
+        platform,
+        interval: Seconds = STANDBY_INTERVAL,
+        telemetry=None,
+    ) -> None:
+        self._engine = engine
+        self._platform = platform
+        self._interval = interval
+        self._telemetry = telemetry
+        #: Where each task's replica currently lives.
+        self.placements: Dict[TaskId, ContainerId] = {}
+        #: Every takeover this plane performed.
+        self.promotions: List[PromotionRecord] = []
+        #: Incident events only (promotions/handoffs — never placement),
+        #: so fault-free timelines are byte-identical with the plane off.
+        self.events: BoundedList = BoundedList(maxlen=256)
+        self._last_alive: Dict[TaskId, Seconds] = {}
+        self._timer = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._timer is not None:
+            return
+        self._timer = self._engine.every(
+            self._interval, self._tick, name="standby-plane"
+        )
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    # ------------------------------------------------------------------
+    # Reconcile tick
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self._engine.now
+        wanted = {spec.task_id: spec for spec in self._hot_specs()}
+        for task_id in sorted(self.placements):
+            container_id = self.placements[task_id]
+            manager = self._platform.task_managers.get(container_id)
+            if task_id not in wanted:
+                # Job gone or opted out: retire the replica quietly.
+                if manager is not None:
+                    manager.drop_standby(task_id)
+                del self.placements[task_id]
+                continue
+            if (
+                manager is None
+                or not manager.alive
+                or task_id not in manager.standbys
+            ):
+                # The replica itself was lost (host death, manager
+                # reboot); forget it and re-place below.
+                del self.placements[task_id]
+                continue
+            replica = manager.standbys[task_id]
+            if self._primary_alive(task_id):
+                self._last_alive[task_id] = now
+                if replica.promoted:
+                    # Backstop only: the start-task handoff hook retires
+                    # promoted replicas before a primary restarts, so
+                    # reaching here means a primary appeared without the
+                    # hook (e.g. a manually injected task). Never let two
+                    # incarnations run a full tick.
+                    manager.drop_standby(task_id)
+                    del self.placements[task_id]
+                    self.events.append(
+                        StandbyEvent(
+                            now, "standby-retire",
+                            f"{task_id}: primary reappeared; promoted "
+                            f"replica on {container_id} retired",
+                        )
+                    )
+            elif not replica.promoted:
+                self._promote(manager, replica, now)
+        for task_id in sorted(wanted):
+            if task_id not in self.placements:
+                self._place(wanted[task_id])
+
+    def _hot_specs(self) -> List[TaskSpec]:
+        service = self._platform.task_service
+        try:
+            job_ids = service.job_ids()
+        except DegradedModeError:
+            return []
+        specs: List[TaskSpec] = []
+        for job_id in job_ids:
+            try:
+                job_specs = service.specs_of(job_id)
+            except DegradedModeError:
+                continue
+            specs.extend(spec for spec in job_specs if spec.hot_standby)
+        return specs
+
+    # ------------------------------------------------------------------
+    # Placement (host anti-affinity with the primary)
+    # ------------------------------------------------------------------
+    def _place(self, spec: TaskSpec) -> None:
+        primary = self._primary_manager(spec.task_id)
+        if primary is None:
+            return  # Wait until the primary is placed; re-try next tick.
+        primary_host = primary.container.host_id
+        managers = self._platform.task_managers
+        candidates = [
+            container_id
+            for container_id in sorted(managers)
+            if managers[container_id].alive
+            and managers[container_id].container.host_id != primary_host
+        ]
+        if not candidates:
+            return
+        target = candidates[spec.task_index % len(candidates)]
+        replica = RunningTask(spec, self._platform.scribe, passive=True)
+        managers[target].adopt_standby(replica)
+        self.placements[spec.task_id] = target
+        self._last_alive.setdefault(spec.task_id, self._engine.now)
+
+    # ------------------------------------------------------------------
+    # Promotion and handoff
+    # ------------------------------------------------------------------
+    def _promote(self, manager, replica: RunningTask, now: Seconds) -> None:
+        task_id = replica.spec.task_id
+        replica.promote()
+        failed_at = self._last_alive.get(task_id, now)
+        lag = now - failed_at
+        self.promotions.append(
+            PromotionRecord(now, task_id, manager.container_id, lag)
+        )
+        # Durable, canonical-JSON audit record: the takeover drill decodes
+        # this log to prove every promotion happened exactly once.
+        self._platform.scribe.ensure_log(PROMOTION_LOG).append(
+            json.dumps(
+                {
+                    "at": now,
+                    "container": manager.container_id,
+                    "op": "promote",
+                    "task": task_id,
+                },
+                sort_keys=True,
+            )
+        )
+        # The recovery-lag window closes at the replica's first progress
+        # sample, measured from when the primary was last seen alive.
+        manager.note_task_failure(task_id, failed_at)
+        self.events.append(
+            StandbyEvent(
+                now, "standby-promote",
+                f"{task_id}: promoted on {manager.container_id} "
+                f"{lag:g}s after primary loss",
+            )
+        )
+        if self._telemetry is not None:
+            self._telemetry.inc("standby.promotions")
+
+    def release_for_start(self, task_id: TaskId) -> None:
+        """Retire this task's replica before its primary (re)starts.
+
+        Called by every Task Manager from ``_start_task`` — the
+        exactly-once half of the handoff protocol. A passive replica is
+        simply dropped (and re-placed next tick against the new
+        primary); a promoted one records the handoff in the timeline.
+        """
+        container_id = self.placements.pop(task_id, None)
+        if container_id is None:
+            return
+        manager = self._platform.task_managers.get(container_id)
+        if manager is None:
+            return
+        replica = manager.drop_standby(task_id)
+        if replica is not None and replica.promoted:
+            self.events.append(
+                StandbyEvent(
+                    self._engine.now, "standby-handoff",
+                    f"{task_id}: primary restarting; promoted replica on "
+                    f"{container_id} retired",
+                )
+            )
+            if self._telemetry is not None:
+                self._telemetry.inc("standby.handoffs")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def reserved_memory_gb(self) -> float:
+        """Extra fleet memory the replicas pin (the EXPERIMENTS.md cost)."""
+        total = 0.0
+        for task_id in sorted(self.placements):
+            manager = self._platform.task_managers.get(
+                self.placements[task_id]
+            )
+            if manager is None:
+                continue
+            replica = manager.standbys.get(task_id)
+            if replica is not None:
+                total += replica.spec.resources.memory_gb
+        return total
+
+    # ------------------------------------------------------------------
+    # Primary liveness
+    # ------------------------------------------------------------------
+    def _primary_manager(self, task_id: TaskId):
+        managers = self._platform.task_managers
+        for container_id in sorted(managers):
+            manager = managers[container_id]
+            if manager.alive and task_id in manager.tasks:
+                return manager
+        return None
+
+    def _primary_alive(self, task_id: TaskId) -> bool:
+        manager = self._primary_manager(task_id)
+        if manager is None:
+            return False
+        return manager.tasks[task_id].state in (
+            TaskState.RUNNING, TaskState.STARTING
+        )

@@ -175,4 +175,10 @@ class JobStatsCollector:
         for manager in self._shard_manager.live_managers():
             for task in manager.tasks.values():
                 grouped.setdefault(task.spec.job_id, []).append(task)
+            # Hosted replicas: passive ones are filtered out by every
+            # RUNNING-state check downstream, while a promoted standby
+            # keeps processing_rate/running_tasks (and therefore the
+            # availability SLI) truthful during the takeover window.
+            for task in manager.standbys.values():
+                grouped.setdefault(task.spec.job_id, []).append(task)
         return grouped

@@ -49,6 +49,10 @@ class TaskState(enum.Enum):
     STOPPING = "stopping"
     STOPPED = "stopped"
     CRASHED = "crashed"
+    #: Passive hot-standby replica: placed and warm (tails the primary's
+    #: checkpoint stream) but not processing; promoted to RUNNING when the
+    #: primary's container is lost.
+    STANDBY = "standby"
 
 
 class Priority(enum.IntEnum):

@@ -26,6 +26,11 @@ ACCEPTANCE_SCENARIOS = (
     # deep assertions live in tests/chaos/test_replication_scenarios.py)
     "leader-crash-mid-plan",
     "follower-lag-snapshot-catchup",
+    # Data-plane resiliency (deep assertions live in
+    # tests/chaos/test_resiliency_scenarios.py)
+    "checkpoint-restore-vs-cold-restart",
+    "standby-takeover",
+    "gray-node-drain",
 )
 
 

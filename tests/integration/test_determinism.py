@@ -16,8 +16,15 @@ from repro.workloads import DiurnalPattern, TrafficDriver
 
 def run_busy_hour(
     seed, placement_cache=True, observe=False, metrics_streaming=True,
-    replication=False,
+    replication=False, durable_checkpoints=False, hot_standby=False,
+    flag_hot_standby=None, slow_node_detection=False, failures=True,
 ):
+    # The JobSpec opt-in flag normally follows the plane toggle, but the
+    # standby transparency test sets it on BOTH arms (it is inert without
+    # the plane) so the provisioner's config-write trace matches and only
+    # the plane itself differs across the pair.
+    if flag_hot_standby is None:
+        flag_hot_standby = hot_standby
     platform = Turbine.create(
         num_hosts=4, seed=seed,
         config=PlatformConfig(
@@ -33,6 +40,12 @@ def run_busy_hour(
     platform.attach_slo()
     if replication:
         platform.attach_replication()
+    if durable_checkpoints:
+        platform.attach_checkpoints()
+    if hot_standby:
+        platform.attach_standby()
+    if slow_node_detection:
+        platform.attach_slow_node_detector()
     platform.start()
     driver = TrafficDriver(
         platform.engine, platform.scribe, tick=60.0,
@@ -45,13 +58,15 @@ def run_busy_hour(
         )
         platform.provision(
             JobSpec(job_id=f"job-{index}", input_category=f"cat-{index}",
-                    task_count=2, rate_per_thread_mb=2.0),
+                    task_count=2, rate_per_thread_mb=2.0,
+                    hot_standby=flag_hot_standby),
         )
         driver.add_source(f"cat-{index}", pattern)
     driver.start()
-    platform.failures.schedule(
-        FailurePlan("host-1", fail_at=1200.0, recover_at=2400.0)
-    )
+    if failures:
+        platform.failures.schedule(
+            FailurePlan("host-1", fail_at=1200.0, recover_at=2400.0)
+        )
     platform.run_for(hours=1)
 
     fingerprint = {
@@ -300,6 +315,176 @@ class TestReplicationTransparency:
         assert list(group.events) == [], (
             "fault-free runs must record no replication events"
         )
+
+
+class TestResiliencyTransparency:
+    """Data-plane resiliency must be invisible until a fault needs it.
+
+    The checkpoint plane, the hot-standby plane, and the slow-node
+    detector each add timers and Scribe traffic, but none may perturb
+    the simulation they protect: golden same-seed runs with the feature
+    on and off must agree on the coarse fingerprint, the byte-exact
+    causal trace, the rendered incident timeline, and the SLO report.
+
+    Two deliberate asymmetries:
+
+    * The checkpoint pair is NOT compared on telemetry — ``ckpt.appends``
+      exists only on the on arm (the replication precedent). The
+      slow-node pair IS, modulo engine self-diagnostics that count the
+      detector's own timer: the detector only writes ``slownode.*``
+      counters when it drains, and a healthy fleet gives it nothing to
+      drain.
+    * The standby pair runs without the host-1 failure plan. A host
+      failure is exactly when standbys are *supposed* to change the
+      outcome (promotion beats the 40 s reboot clock), so transparency
+      is only claimed fault-free; the engaged path is covered by the
+      ``standby-takeover`` chaos scenario tests.
+    """
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_checkpoints_on_and_off_byte_identical(self, seed):
+        fp_on, exports_on = run_busy_hour(
+            seed=seed, durable_checkpoints=True, observe=True
+        )
+        fp_off, exports_off = run_busy_hour(seed=seed, observe=True)
+        assert fp_on == fp_off
+        assert exports_on["trace"] == exports_off["trace"]
+        assert exports_on["timeline"] == exports_off["timeline"]
+        assert exports_on["slo"] == exports_off["slo"]
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_standby_on_and_off_byte_identical_fault_free(self, seed):
+        fp_on, exports_on = run_busy_hour(
+            seed=seed, hot_standby=True, failures=False, observe=True
+        )
+        # The off arm still flags the jobs: the ``hot_standby`` config key
+        # is job data and lands in the provisioner trace either way; with
+        # no plane attached it is inert, so the pair isolates the plane.
+        fp_off, exports_off = run_busy_hour(
+            seed=seed, failures=False, flag_hot_standby=True, observe=True
+        )
+        assert fp_on == fp_off
+        assert exports_on["trace"] == exports_off["trace"]
+        assert exports_on["timeline"] == exports_off["timeline"]
+        assert exports_on["slo"] == exports_off["slo"]
+
+    #: Engine self-diagnostics that definitionally differ when any extra
+    #: timer exists: the detector's own fire counter, and the event/queue
+    #: meters that count every scheduled event including the timer's.
+    _ENGINE_DIAGNOSTICS = (
+        '"name": "engine.events"',
+        '"name": "engine.queue_depth"',
+        '"name": "timer.slow-node-detector.fires"',
+    )
+
+    @classmethod
+    def _without_engine_diagnostics(cls, telemetry):
+        return "\n".join(
+            line for line in telemetry.splitlines()
+            if not any(marker in line for marker in cls._ENGINE_DIAGNOSTICS)
+        )
+
+    @pytest.mark.parametrize("seed", [101, 202, 303])
+    def test_slow_node_detector_on_and_off_byte_identical(self, seed):
+        fp_on, exports_on = run_busy_hour(
+            seed=seed, slow_node_detection=True, observe=True
+        )
+        fp_off, exports_off = run_busy_hour(seed=seed, observe=True)
+        assert fp_on == fp_off
+        assert exports_on["trace"] == exports_off["trace"]
+        assert exports_on["timeline"] == exports_off["timeline"]
+        assert exports_on["slo"] == exports_off["slo"]
+        assert self._without_engine_diagnostics(
+            exports_on["telemetry"]
+        ) == self._without_engine_diagnostics(exports_off["telemetry"])
+
+    def test_checkpoints_actually_engaged_in_golden_run(self):
+        """Guard against the transparency test passing vacuously."""
+        platform = Turbine.create(
+            num_hosts=4, seed=101,
+            config=PlatformConfig(num_shards=32, containers_per_host=2),
+        )
+        plane = platform.attach_checkpoints()
+        platform.start()
+        driver = TrafficDriver(
+            platform.engine, platform.scribe, tick=60.0,
+            metrics=platform.metrics,
+        )
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2)
+        )
+        driver.add_source(
+            "cat", DiurnalPattern(3.0, amplitude=0.3,
+                                  rng=platform.engine.rng.fork("wl")),
+        )
+        driver.start()
+        platform.run_for(hours=0.5)
+        assert plane.appends > 0, "snapshots should reach the per-job log"
+        assert plane.restores == 0 and plane.fallbacks == 0
+        assert list(plane.events) == [], (
+            "fault-free runs must record no checkpoint events"
+        )
+
+    def test_standbys_actually_placed_and_promote_on_failure(self):
+        """Guard against the transparency test passing vacuously: opted-in
+        jobs get passive replicas, and killing a primary's host promotes
+        one instead of waiting out the reboot clock."""
+        platform = Turbine.create(
+            num_hosts=4, seed=101,
+            config=PlatformConfig(num_shards=32, containers_per_host=2),
+        )
+        standby = platform.attach_standby()
+        platform.start()
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=2,
+                    hot_standby=True)
+        )
+        platform.run_for(hours=0.1)
+        assert standby.placements, "opted-in jobs should have replicas"
+        assert standby.reserved_memory_gb() > 0.0
+        assert list(standby.events) == [], (
+            "fault-free runs must record no standby events"
+        )
+        # Kill the host of the first placed primary; its standby lives
+        # elsewhere (anti-affinity) and must take over.
+        primary_host = next(
+            manager.container.host_id
+            for cid in sorted(platform.task_managers)
+            for manager in [platform.task_managers[cid]]
+            if manager.tasks
+        )
+        platform.failures.fail_now(primary_host, label="test")
+        platform.run_for(hours=0.1)
+        assert standby.promotions, "host loss should promote a standby"
+        assert any(
+            event.kind == "standby-promote" for event in standby.events
+        )
+
+    def test_slow_node_detector_observes_but_stays_quiet(self):
+        """Guard against the transparency test passing vacuously: the
+        detector samples real task rates yet drains nothing healthy."""
+        platform = Turbine.create(
+            num_hosts=4, seed=101,
+            config=PlatformConfig(num_shards=32, containers_per_host=2),
+        )
+        detector = platform.attach_slow_node_detector()
+        platform.start()
+        driver = TrafficDriver(
+            platform.engine, platform.scribe, tick=60.0,
+            metrics=platform.metrics,
+        )
+        platform.provision(
+            JobSpec(job_id="job", input_category="cat", task_count=4)
+        )
+        driver.add_source(
+            "cat", DiurnalPattern(3.0, amplitude=0.3,
+                                  rng=platform.engine.rng.fork("wl")),
+        )
+        driver.start()
+        platform.run_for(hours=0.5)
+        assert detector._last_totals, "detector should be sampling rates"
+        assert detector.drains == 0
+        assert list(detector.events) == []
 
 
 class TestParallelSubstrateTransparency:

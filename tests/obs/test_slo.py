@@ -50,7 +50,8 @@ class TestSpecValidation:
     def test_default_specs_cover_every_severity_surface(self):
         specs = default_slo_specs()
         assert {spec.sli for spec in specs} == {
-            "lag_seconds", "freshness_seconds", "availability", "oom_rate"
+            "lag_seconds", "freshness_seconds", "availability", "oom_rate",
+            "task.recovery_lag",
         }
         assert all(spec.runbook for spec in specs)
 

@@ -212,14 +212,22 @@ def test_counters_classify_tiers():
     cache = PlacementCache()
     first = cache.compute(shard_loads, container_capacities, {})
     assert cache.misses == 1
-    # Unchanged round: pure hit.
-    cache.compute(
+    # Unchanged round after a round that *moved* shards: repair, not a
+    # hit — only a zero-move round is a provable fixed point the cache
+    # may serve back verbatim.
+    second = cache.compute(
         shard_loads, container_capacities, dict(first.assignment)
+    )
+    assert cache.repairs == 1
+    assert second.moves == []
+    # Unchanged round after a settled round: pure hit.
+    cache.compute(
+        shard_loads, container_capacities, dict(second.assignment)
     )
     assert cache.hits == 1
     # One load report changed: repair.
     shard_loads["shard-03"] = ResourceVector(cpu=1.5)
     cache.compute(
-        shard_loads, container_capacities, dict(first.assignment)
+        shard_loads, container_capacities, dict(second.assignment)
     )
-    assert cache.repairs == 1
+    assert cache.repairs == 2

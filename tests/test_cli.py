@@ -227,8 +227,32 @@ def test_chaos_list_enumerates_scenarios(capsys):
     out = capsys.readouterr().out
     for name in ("job-store-outage", "syncer-crash", "shard-manager-outage",
                  "task-service-staleness", "metric-gap",
-                 "scribe-partition-loss"):
+                 "scribe-partition-loss", "checkpoint-restore-vs-cold-restart",
+                 "standby-takeover", "gray-node-drain"):
         assert name in out
+
+
+def test_chaos_list_renders_fault_kinds_and_mttr_bound(capsys):
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    # Each entry shows its fault kinds in brackets and its expected MTTR
+    # bound (or says it has none) next to the name.
+    assert "[host-failure] (mttr<=5s)" in out
+    assert "[checkpoint-wipe] (mttr<=90s)" in out
+    assert "[slow-node] (mttr<=60s)" in out
+    assert "no mttr bound" in out
+
+
+def test_chaos_control_arm_disables_resiliency_features(capsys):
+    # The control arm of the takeover drill pays the full reboot clock
+    # but still converges well inside a generous bound.
+    assert main(["chaos", "standby-takeover", "--seed", "7",
+                 "--control", "--max-mttr", "120"]) == 0
+    out = capsys.readouterr().out
+    assert "converged: yes" in out
+    # And the feature arm must beat its own 5 s acceptance bound.
+    assert main(["chaos", "standby-takeover", "--seed", "7",
+                 "--max-mttr", "5"]) == 0
 
 
 def test_chaos_runs_scenario_and_reports_mttr(capsys):
