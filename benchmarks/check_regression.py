@@ -90,10 +90,12 @@ def check(ratios, baseline_path):
         actual = ratios[name]
         verdict = "ok" if actual <= allowed else "REGRESSED"
         delta = (actual / entry["ratio"] - 1.0) * 100.0
+        source = "per-entry" if "tolerance" in entry else "default"
         print(
             f"{name}: ratio {actual:.4f} "
             f"(baseline {entry['ratio']:.4f}, {delta:+.1f}%, "
-            f"allowed <= {allowed:.4f}) "
+            f"allowed <= {allowed:.4f}, "
+            f"tolerance +{tolerance:.0%} [{source}]) "
             f"{verdict}"
         )
         if actual > allowed:
@@ -103,7 +105,14 @@ def check(ratios, baseline_path):
             )
     known = {entry["name"] for entry in baseline["benchmarks"]}
     for name in sorted(set(ratios) - known):
-        print(f"{name}: not in baseline (run with --update to add)")
+        # A benchmark that runs but has no committed ratio is ungated —
+        # failing loudly here is what forces new benchmarks to register
+        # in the baseline instead of silently floating free.
+        print(f"{name}: NOT IN BASELINE")
+        failures.append(
+            f"{name}: present in this run but missing from the baseline "
+            "(register it with --update)"
+        )
     if failures:
         print("\nbenchmark regression gate FAILED:", file=sys.stderr)
         for failure in failures:

@@ -286,6 +286,8 @@ def benchmark_index() -> list:
 
 
 def cmd_parallel(args: argparse.Namespace) -> int:
+    if args.scenario is not None:
+        return _cmd_parallel_scenario(args)
     from repro.sim.parallel import run_fleet, standard_fleet
 
     spec = standard_fleet(
@@ -298,7 +300,8 @@ def cmd_parallel(args: argparse.Namespace) -> int:
         round_interval=args.round,
     )
     result = run_fleet(
-        spec, partitions=args.partitions, use_processes=args.processes
+        spec, partitions=args.partitions, use_processes=args.processes,
+        load_aware=args.load_aware,
     )
     mode = "processes" if result.used_processes else "in-process"
     print(
@@ -309,6 +312,8 @@ def cmd_parallel(args: argparse.Namespace) -> int:
         f"ran {result.rounds} rounds x {args.partitions} partitions "
         f"({mode}) in {result.wall_s:.2f}s wall"
     )
+    if result.load_aware:
+        print(f"load-aware plan: skew {result.plan_skew:.3f} (max/mean)")
     final = result.fingerprint["final"]
     total_tasks = sum(job["task_count"] for job in final.values())
     total_lag = sum(job["lag_u"] for job in final.values()) / 1e6
@@ -333,6 +338,48 @@ def cmd_parallel(args: argparse.Namespace) -> int:
         }[name]
         Path(payload).write_text(text, encoding="utf-8")
         print(f"{name} written to {payload}")
+    return 0
+
+
+def _cmd_parallel_scenario(args: argparse.Namespace) -> int:
+    """``repro parallel --scenario``: a chaos drill on the platform's
+    parallel data plane (exports byte-identical at every partition
+    count)."""
+    import time
+
+    from repro.chaos.scenarios import scenario_names
+    from repro.chaos.runner import run_scenario
+
+    if args.scenario == "list":
+        for name in scenario_names():
+            print(name)
+        return 0
+    started = time.perf_counter()
+    result = run_scenario(
+        args.scenario,
+        seed=args.seed,
+        data_plane_partitions=args.partitions,
+        data_plane_processes=args.processes,
+    )
+    wall = time.perf_counter() - started
+    print(result.render())
+    print(
+        f"parallel data plane: {result.data_plane_partitions} partition(s)"
+        f"{' (processes)' if args.processes else ''}, "
+        f"{result.dataplane_ticks} ticks, plan skew "
+        f"{result.plan_skew:.3f}, {wall:.2f}s wall"
+    )
+    for name, path, text in (
+        ("fingerprint", args.fingerprint_out, result.fingerprint_json),
+        ("timeline", args.timeline_out, result.timeline_text),
+        ("slo", args.slo_out, result.slo_report_json),
+        ("telemetry", args.telemetry_out, result.telemetry_jsonl),
+        ("trace", args.trace_out, result.trace_jsonl),
+    ):
+        if path is None:
+            continue
+        Path(path).write_text(text, encoding="utf-8")
+        print(f"{name} written to {path}")
     return 0
 
 
@@ -465,6 +512,13 @@ def main(argv=None) -> int:
     parallel.add_argument("--seed", type=int, default=0)
     parallel.add_argument("--processes", action="store_true",
                           help="run partitions in worker processes")
+    parallel.add_argument("--load-aware", action="store_true",
+                          help="replace the modulo shard fold with a "
+                               "measured-cost LPT plan (fleet mode)")
+    parallel.add_argument("--scenario", metavar="NAME", default=None,
+                          help="run a registered chaos drill on the full "
+                               "platform's parallel data plane instead of "
+                               "the fleet substrate ('list' to enumerate)")
     parallel.add_argument("--fingerprint-out", metavar="FILE", default=None,
                           help="write the deterministic run fingerprint here")
     parallel.add_argument("--timeline-out", metavar="FILE", default=None,
@@ -473,6 +527,9 @@ def main(argv=None) -> int:
                           help="write the SLO report JSON here")
     parallel.add_argument("--telemetry-out", metavar="FILE", default=None,
                           help="write deterministic telemetry JSONL here")
+    parallel.add_argument("--trace-out", metavar="FILE", default=None,
+                          help="write the causal trace JSONL here "
+                               "(scenario mode)")
     parallel.set_defaults(func=cmd_parallel)
 
     experiments = sub.add_parser("experiments", help="list benchmarks")

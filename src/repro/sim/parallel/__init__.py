@@ -30,6 +30,7 @@ from repro.sim.parallel.fleet import (
     FleetSpec,
     PartitionRunner,
     RoundDelta,
+    measure_shard_costs,
     standard_fleet,
 )
 from repro.sim.parallel.merge import MergedRound, merge_deltas
@@ -37,6 +38,11 @@ from repro.sim.parallel.partition import (
     PartitionPlan,
     partition_for_shard,
     partition_for_task,
+)
+from repro.sim.parallel.plane import (
+    DataPlaneSlice,
+    PlatformDataPlane,
+    TaskStepProfile,
 )
 from repro.sim.parallel.runner import (
     ParallelResult,
@@ -46,6 +52,7 @@ from repro.sim.parallel.runner import (
 
 __all__ = [
     "ControlPlane",
+    "DataPlaneSlice",
     "FleetJob",
     "FleetSpec",
     "MergedRound",
@@ -53,8 +60,11 @@ __all__ = [
     "ParallelSimulation",
     "PartitionPlan",
     "PartitionRunner",
+    "PlatformDataPlane",
     "RoundDelta",
     "ScaleAction",
+    "TaskStepProfile",
+    "measure_shard_costs",
     "merge_deltas",
     "partition_for_shard",
     "partition_for_task",

@@ -1,0 +1,724 @@
+"""The parallel data plane for the full Turbine platform.
+
+The platform's per-tick data-plane work — planning every running task's
+step (water-filling its partition slice against committed checkpoints)
+and the desired-cores contention pass before it — is a pure function of
+a small read-only view: category heads, committed offsets, and per-task
+spec scalars. This module fans that planning out over partition slices
+while the single authoritative engine keeps every control-plane decision
+exactly where it always ran:
+
+* a :class:`DataPlaneSlice` is the worker-side mirror of one slice's
+  inputs (heads, offsets, spec profiles). Workers start **empty** — no
+  forked platform state — and are fed deltas at every tick, so nothing
+  unpicklable ever crosses the pipe;
+* the coordinator (:class:`PlatformDataPlane`) owns the platform's one
+  step timer. Each tick is a two-phase barrier exchange copying the
+  fork+pipe idiom of :mod:`repro.sim.parallel.runner`: (1) sync + the
+  desired-cores pass, (2) per-container throttles out, per-task
+  :class:`~repro.tasks.runtime.StepPlan` tuples back;
+* every plan is applied **centrally**, in canonical slot order (manager
+  spawn order, then each manager's task order), through the same
+  :func:`~repro.tasks.runtime.apply_step_plan` the serial path uses — so
+  checkpoints, downstream publishes, OOM handling, metric ingestion, and
+  therefore every export are byte-identical at any partition count.
+
+Routing reuses the substrate's shard → partition fold: the task's MD5
+shard (already tracked by its Task Manager) indexes a
+:class:`~repro.sim.parallel.partition.PartitionPlan`. After a warmup
+window of measured per-shard step cost the plane replans with
+deterministic LPT, marking every job's offsets dirty so worker mirrors
+resync before the new routing takes effect. Fault injection and watches
+never run on workers: chaos mutates authoritative state between ticks,
+and the next tick's head/offset sync routes the consequences to the
+owning partition at the barrier.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.parallel.partition import PartitionPlan
+from repro.tasks.runtime import (
+    IDLE_PLAN,
+    StepPlan,
+    plan_desired_cores,
+    plan_task_step,
+)
+from repro.types import TaskState
+
+#: Micro-MB fixed point for per-shard cost accounting (matches
+#: :data:`repro.tasks.sliced.MICRO_MB`): integer sums are associative,
+#: so the measured costs — and the plan built from them — are identical
+#: at every partition count.
+_COST_SCALE = 1_000_000.0
+
+#: Width the deterministic plan-skew gauges are computed at (see
+#: :data:`repro.sim.parallel.barrier.PLAN_SKEW_REFERENCE_WIDTH`): the
+#: actual plan depends on the run's partition count, so only a
+#: fixed-width fold of the (partition-independent) costs may be
+#: exported.
+PLAN_SKEW_REFERENCE_WIDTH = 4
+
+#: Default number of plane ticks measured before the LPT replan.
+DEFAULT_WARMUP_TICKS = 30
+
+
+class TaskStepProfile(NamedTuple):
+    """The spec scalars a worker needs to plan one task's steps.
+
+    A plain tuple of primitives: shipped once per (task, settings
+    fingerprint) and compared by value to decide re-shipping.
+    """
+
+    job_id: str
+    input_category: str
+    task_index: int
+    task_count: int
+    max_rate_mb: float
+    rate_per_thread_mb: float
+    memory_overhead_gb: float
+    stateful: bool
+    state_key_cardinality: int
+    reserved_memory_gb: float
+
+
+def profile_of(spec) -> TaskStepProfile:
+    """Extract the planning profile from a :class:`TaskSpec`."""
+    return TaskStepProfile(
+        job_id=spec.job_id,
+        input_category=spec.input_category or "",
+        task_index=spec.task_index,
+        task_count=spec.task_count,
+        # Same float expression as RunningTask.max_rate_mb().
+        max_rate_mb=spec.rate_per_thread_mb * spec.threads,
+        rate_per_thread_mb=spec.rate_per_thread_mb,
+        memory_overhead_gb=spec.memory_overhead_gb,
+        stateful=spec.stateful,
+        state_key_cardinality=spec.state_key_cardinality,
+        reserved_memory_gb=spec.resources.memory_gb,
+    )
+
+
+def _shard_index(shard_id: str) -> int:
+    """``shard-00042`` → 42 (the platform's shard-id naming)."""
+    return int(shard_id.rsplit("-", 1)[1])
+
+
+class DataPlaneSlice:
+    """Worker-side mirror: everything one slice needs to plan steps.
+
+    Holds only plain data — category heads/online flags, committed
+    offsets, spec profiles — updated by :meth:`sync` deltas from the
+    coordinator plus self-applied commits from its own plans. The mirror
+    is exact by construction (floats cross the pipe bit-for-bit), so a
+    plan computed here equals the plan the coordinator would compute
+    in place.
+    """
+
+    def __init__(self) -> None:
+        #: task_id -> TaskStepProfile
+        self.specs: Dict[str, TaskStepProfile] = {}
+        #: category -> (heads tuple, online tuple)
+        self.heads: Dict[str, Tuple[Tuple[float, ...], Tuple[bool, ...]]] = {}
+        #: job_id -> {partition_id: committed offset}
+        self.offsets: Dict[str, Dict[str, float]] = {}
+        #: task_id -> [(partition index, partition id)] in slice order
+        self._pids: Dict[str, List[Tuple[int, str]]] = {}
+        self._roster: List[Tuple] = []
+        self._entries: Dict[int, List[Tuple[float, float]]] = {}
+
+    def sync(
+        self,
+        heads: Dict[str, Tuple[Tuple[float, ...], Tuple[bool, ...]]],
+        checkpoints: Dict[str, Dict[str, float]],
+        specs: Dict[str, TaskStepProfile],
+    ) -> None:
+        """Land a coordinator delta (changed heads, dirty-job offsets,
+        new/changed spec profiles) on the mirror."""
+        self.heads.update(heads)
+        for job_id, snapshot in checkpoints.items():
+            # Replace-per-job semantics: a wiped job must lose its
+            # mirrored offsets, not merge over them.
+            self.offsets[job_id] = dict(snapshot)
+        for task_id, profile in specs.items():
+            self.specs[task_id] = profile
+            self._pids.pop(task_id, None)
+
+    def _pid_list(
+        self, task_id: str, profile: TaskStepProfile
+    ) -> List[Tuple[int, str]]:
+        """The task's partition slice — same membership and order as
+        ``Category.partition_slice`` (ascending index, ``index %
+        task_count == task_index``)."""
+        cached = self._pids.get(task_id)
+        if cached is not None:
+            return cached
+        category = profile.input_category
+        count = len(self.heads[category][0])
+        pids = [
+            (index, f"{category}/{index}")
+            for index in range(count)
+            if profile.task_count > 0
+            and index % profile.task_count == profile.task_index
+        ]
+        self._pids[task_id] = pids
+        return pids
+
+    def desired(self, roster: Sequence[Tuple]) -> List[Tuple[int, float]]:
+        """Phase 1: per-slot desired cores, caching each task's partition
+        entries for phase 2.
+
+        ``roster`` rows are ``(slot, container_ordinal, task_id, running,
+        restore_remaining_mb, dt)``.
+        """
+        self._roster = list(roster)
+        self._entries = {}
+        out: List[Tuple[int, float]] = []
+        for slot, _cont, task_id, running, restore_remaining, dt in roster:
+            profile = self.specs[task_id]
+            entries: List[Tuple[float, float]] = []
+            available_sum = 0.0
+            if profile.input_category:
+                heads, online = self.heads[profile.input_category]
+                job_offsets = self.offsets.get(profile.job_id, {})
+                available: List[float] = []
+                for index, pid in self._pid_list(task_id, profile):
+                    offset = job_offsets.get(pid, 0.0)
+                    backlog = heads[index] - offset
+                    entries.append(
+                        (backlog if online[index] else 0.0, offset)
+                    )
+                    available.append(backlog)
+                available_sum = sum(available)
+            self._entries[slot] = entries
+            out.append((
+                slot,
+                plan_desired_cores(
+                    running=running,
+                    dt=dt,
+                    restoring=restore_remaining > 1e-9,
+                    available_sum_mb=available_sum,
+                    max_rate_mb=profile.max_rate_mb,
+                    rate_per_thread_mb=profile.rate_per_thread_mb,
+                ),
+            ))
+        return out
+
+    def plans(
+        self, throttles: Sequence[float]
+    ) -> List[Tuple[int, StepPlan]]:
+        """Phase 2: per-slot step plans under the broadcast throttles.
+
+        Each plan's commits are self-applied to the mirrored offsets, so
+        next tick's reads are current without any coordinator re-ship.
+        """
+        out: List[Tuple[int, StepPlan]] = []
+        for slot, cont, task_id, running, restore_remaining, dt in self._roster:
+            if not running:
+                out.append((slot, IDLE_PLAN))
+                continue
+            profile = self.specs[task_id]
+            plan = plan_task_step(
+                entries=self._entries[slot],
+                dt=dt,
+                throttle=throttles[cont],
+                restore_remaining_mb=restore_remaining,
+                max_rate_mb=profile.max_rate_mb,
+                rate_per_thread_mb=profile.rate_per_thread_mb,
+                memory_overhead_gb=profile.memory_overhead_gb,
+                stateful=profile.stateful,
+                state_key_cardinality=profile.state_key_cardinality,
+                task_count=profile.task_count,
+                reserved_memory_gb=profile.reserved_memory_gb,
+            )
+            if plan.commits:
+                pids = self._pids[task_id]
+                job_offsets = self.offsets.setdefault(profile.job_id, {})
+                for seq, new_offset in plan.commits:
+                    job_offsets[pids[seq][1]] = new_offset
+            out.append((slot, plan))
+        return out
+
+
+def _plane_worker_main(conn) -> None:
+    """Worker process: one empty-start slice, driven tick by tick."""
+    slice_ = DataPlaneSlice()
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "tick":
+                _kind, heads, checkpoints, specs, roster = message
+                slice_.sync(heads, checkpoints, specs)
+                conn.send(slice_.desired(roster))
+            elif kind == "plans":
+                conn.send(slice_.plans(message[1]))
+    finally:
+        conn.close()
+
+
+class _InlineSlice:
+    """In-process slice handle (partitions without worker processes)."""
+
+    def __init__(self) -> None:
+        self.slice = DataPlaneSlice()
+        self._reply = None
+
+    def start_tick(self, heads, checkpoints, specs, roster) -> None:
+        self.slice.sync(heads, checkpoints, specs)
+        self._reply = self.slice.desired(roster)
+
+    def start_plans(self, throttles) -> None:
+        self._reply = self.slice.plans(throttles)
+
+    def finish(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+class _WorkerSlice:
+    """Fork+pipe slice handle: the runner.py worker idiom, per tick."""
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_plane_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def start_tick(self, heads, checkpoints, specs, roster) -> None:
+        self.conn.send(("tick", heads, checkpoints, specs, roster))
+
+    def start_plans(self, throttles) -> None:
+        self.conn.send(("plans", throttles))
+
+    def finish(self):
+        return self.conn.recv()
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop",))
+            self.conn.close()
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=30)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
+
+
+class PlatformDataPlane:
+    """Coordinator: owns the platform's step timer and the tick barrier.
+
+    ``partitions=1`` runs the same slot/plan/apply pipeline with no
+    remote slices — the comparison baseline for the byte-identity
+    goldens. Worker processes are an execution detail: if they cannot
+    start, the plane falls back to in-process slices and records it.
+    """
+
+    def __init__(
+        self,
+        platform,
+        partitions: int = 1,
+        use_processes: bool = False,
+        warmup_ticks: int = DEFAULT_WARMUP_TICKS,
+    ) -> None:
+        num_shards = platform.config.num_shards
+        if partitions <= 0:
+            raise SimulationError(
+                f"partitions must be positive: {partitions}"
+            )
+        if partitions > num_shards:
+            raise SimulationError(
+                f"cannot split {num_shards} shards into "
+                f"{partitions} partitions"
+            )
+        if warmup_ticks <= 0:
+            raise SimulationError(
+                f"warmup_ticks must be positive: {warmup_ticks}"
+            )
+        self._platform = platform
+        self.partitions = partitions
+        self.use_processes = use_processes
+        self.warmup_ticks = warmup_ticks
+        self.num_shards = num_shards
+        #: Routing plan: modulo until the warmup replan.
+        self.plan = PartitionPlan(num_shards, partitions)
+        #: Actual-width skew after the replan (run summaries only — the
+        #: deterministic gauges are emitted at the reference width).
+        self.plan_skew = 1.0
+        self.replanned = False
+        self.ticks = 0
+        #: None until the first tick decides; then True (fork workers
+        #: engaged) or False (inline slices).
+        self.used_processes: Optional[bool] = None
+        self._handles: Optional[List] = None
+        self._closed = False
+        self._timer = None
+        self._cost_u = [0] * num_shards
+        self._dirty_jobs: set = set()
+        self._all_dirty = True
+        #: Checkpoint-store mutation counter the mirrors reflect, per
+        #: job (recorded after each tick's apply phase). A mismatch at
+        #:  the next sync means some control-plane writer moved the
+        #: job's cursors between ticks — mirrors must resync.
+        self._job_version: Dict[str, int] = {}
+        self._remote_jobs: set = set()
+        #: Per-category head snapshot + version for change detection.
+        self._head_cache: Dict[str, Tuple] = {}
+        self._head_version: Dict[str, int] = {}
+        #: Per-slice shipped state (index 0 unused — coordinator slice).
+        self._slice_heads: List[Dict[str, int]] = [
+            {} for _ in range(partitions)
+        ]
+        self._shipped_specs: List[Dict[str, TaskStepProfile]] = [
+            {} for _ in range(partitions)
+        ]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Arm the plane's single step timer (replaces every manager's)."""
+        if self._timer is not None:
+            return
+        self._timer = self._platform.engine.every(
+            self._platform.config.step_interval,
+            self._tick,
+            name="data-plane-step",
+        )
+
+    def close(self) -> None:
+        """Stop worker processes; later ticks run on fresh inline slices."""
+        if self._handles:
+            for handle in self._handles:
+                handle.close()
+        self._handles = None
+        self._closed = True
+        # Fresh slices start empty: force a full resync if ticks continue.
+        self._all_dirty = True
+        self._slice_heads = [{} for _ in range(self.partitions)]
+        self._shipped_specs = [{} for _ in range(self.partitions)]
+
+    def mark_job_dirty(self, job_id: str) -> None:
+        """A coordinator-side mutation touched this job's checkpoints
+        (task start/roll-forward, chaos wipe, deprovision): re-ship its
+        offset snapshot to every slice at the next tick."""
+        self._dirty_jobs.add(job_id)
+
+    # ------------------------------------------------------------------
+    def _ensure_handles(self) -> List:
+        if self._handles is not None:
+            return self._handles
+        handles: List = []
+        remote = self.partitions - 1
+        if remote > 0 and self.use_processes and not self._closed:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = multiprocessing.get_context("spawn")
+            try:
+                for _ in range(remote):
+                    handles.append(_WorkerSlice(ctx))
+                self.used_processes = True
+            except OSError:  # pragma: no cover - fork-restricted sandboxes
+                for handle in handles:
+                    handle.close()
+                handles = [_InlineSlice() for _ in range(remote)]
+                self.used_processes = False
+        else:
+            handles = [_InlineSlice() for _ in range(remote)]
+            self.used_processes = False
+        self._handles = handles
+        return handles
+
+    # ------------------------------------------------------------------
+    # The tick barrier
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        platform = self._platform
+        now = platform.engine.now
+        platform.telemetry.inc("dataplane.ticks")
+        rows = []
+        for manager in platform.task_managers.values():
+            dt = manager.data_plane_dt(now)
+            if not manager.alive or dt <= 0:
+                continue
+            items = list(manager.tasks.items())
+            if manager.standbys:
+                items.extend(manager.standbys.items())
+            rows.append((manager, dt, items))
+        if not rows:
+            self._finish_tick()
+            return
+        handles = self._ensure_handles()
+
+        # --- Contention scan ----------------------------------------------
+        # Pre-tick plans assume each Scribe partition has exactly one
+        # reader this tick. Two transients break that: a duplicate task
+        # incarnation (fail-over races, promoted standbys), and a mixed
+        # task_count while a rescale rolls out (old and new slicings
+        # overlap). Those jobs step with *sequential* visibility — their
+        # slots stay on the coordinator and their plans are computed at
+        # apply time, one by one, exactly like the serial loop. The
+        # detection is a pure function of the roster, so it is identical
+        # at every partition count.
+        contended: set = set()
+        seen_task_ids: set = set()
+        job_task_count: Dict[str, int] = {}
+        for _manager, _dt, items in rows:
+            for task_id, task in items:
+                job_id = task.spec.job_id
+                if task_id in seen_task_ids:
+                    contended.add(job_id)
+                seen_task_ids.add(task_id)
+                known = job_task_count.setdefault(
+                    job_id, task.spec.task_count
+                )
+                if known != task.spec.task_count:
+                    contended.add(job_id)
+
+        # --- Slot routing -------------------------------------------------
+        # Slots are assigned in canonical order: manager spawn order, then
+        # each manager's tasks (then standbys) — the exact order the
+        # serial per-manager loop visited them. Standbys have no shard and
+        # always stay on the coordinator slice.
+        local_roster: List[Tuple[int, int, object, float, bool]] = []
+        remote_roster: List[List[Tuple]] = [[] for _ in range(self.partitions)]
+        specs_update: List[Dict[str, TaskStepProfile]] = [
+            {} for _ in range(self.partitions)
+        ]
+        slot_shard: List[Optional[int]] = []
+        slot_cont: List[int] = []
+        slot = 0
+        for cont, (manager, dt, items) in enumerate(rows):
+            shard_of = manager._task_shard
+            for task_id, task in items:
+                shard_id = shard_of.get(task_id)
+                shard = (
+                    _shard_index(shard_id) if shard_id is not None else None
+                )
+                lazy = task.spec.job_id in contended
+                target = 0
+                if shard is not None and not lazy and self.partitions > 1:
+                    target = self.plan.partition_of_shard(shard)
+                slot_shard.append(shard)
+                slot_cont.append(cont)
+                if target == 0:
+                    local_roster.append((slot, cont, task, dt, lazy))
+                else:
+                    profile = profile_of(task.spec)
+                    shipped = self._shipped_specs[target]
+                    if shipped.get(task_id) != profile:
+                        specs_update[target][task_id] = profile
+                        shipped[task_id] = profile
+                    remote_roster[target].append((
+                        slot,
+                        cont,
+                        task_id,
+                        task.state == TaskState.RUNNING,
+                        task.restore_remaining_mb,
+                        dt,
+                    ))
+                slot += 1
+        total_slots = slot
+
+        # --- Sync payloads ------------------------------------------------
+        heads_payload = self._heads_payload(remote_roster)
+        checkpoint_payload = self._checkpoint_payload(remote_roster)
+        self._dirty_jobs.clear()
+        self._all_dirty = False
+
+        # --- Phase 1: desired cores (workers first, local overlapped) ----
+        for target in range(1, self.partitions):
+            handles[target - 1].start_tick(
+                heads_payload[target],
+                checkpoint_payload,
+                specs_update[target],
+                remote_roster[target],
+            )
+        desired_by_slot = [0.0] * total_slots
+        for slot, _cont, task, dt, _lazy in local_roster:
+            desired_by_slot[slot] = task.desired_cores(dt)
+        for target in range(1, self.partitions):
+            for slot, value in handles[target - 1].finish():
+                desired_by_slot[slot] = value
+        # Per-container sums accumulate in ascending slot order — the same
+        # left-to-right float addition the serial loop performed.
+        desired_sums = [0.0] * len(rows)
+        for slot in range(total_slots):
+            desired_sums[slot_cont[slot]] += desired_by_slot[slot]
+        throttles = [
+            manager.throttle_for(desired_sums[cont])
+            for cont, (manager, _dt, _items) in enumerate(rows)
+        ]
+
+        # --- Phase 2: step plans ------------------------------------------
+        for target in range(1, self.partitions):
+            handles[target - 1].start_plans(throttles)
+        plans_by_slot: List[Optional[StepPlan]] = [None] * total_slots
+        for slot, cont, task, dt, lazy in local_roster:
+            # Contended-job slots stay None: the manager computes them
+            # sequentially at apply time (post-apply visibility, exactly
+            # like the serial loop).
+            if not lazy:
+                plans_by_slot[slot] = task.plan_step(dt, throttles[cont])
+        for target in range(1, self.partitions):
+            for slot, plan in handles[target - 1].finish():
+                plans_by_slot[slot] = plan
+
+        # --- Apply centrally, in canonical slot order ---------------------
+        position = 0
+        for cont, (manager, dt, items) in enumerate(rows):
+            plan_list = []
+            for _task_id, task in items:
+                plan_list.append((task, plans_by_slot[position]))
+                position += 1
+            manager.apply_data_plane_step(now, dt, throttles[cont], plan_list)
+
+        # Mirrors self-applied their own commits, so after our apply they
+        # match the store exactly — record the mutation counter they now
+        # reflect (any later bump means an external writer intervened).
+        checkpoints = platform.scribe.checkpoints
+        for job_id in self._remote_jobs:
+            self._job_version[job_id] = checkpoints.version(job_id)
+
+        # --- Cost accounting + warmup replan ------------------------------
+        # Lazily-planned (contended) slots stay None here; their cost is
+        # skipped — contention is transient and the skip is identical at
+        # every partition count.
+        for slot in range(total_slots):
+            shard = slot_shard[slot]
+            plan = plans_by_slot[slot]
+            if (
+                shard is not None
+                and plan is not None
+                and plan.ran
+                and plan.processed_mb > 0
+            ):
+                self._cost_u[shard] += int(
+                    round(plan.processed_mb * _COST_SCALE)
+                )
+        self._finish_tick()
+
+    def _finish_tick(self) -> None:
+        self.ticks += 1
+        if not self.replanned and self.ticks >= self.warmup_ticks:
+            self._replan()
+
+    # ------------------------------------------------------------------
+    def _heads_payload(self, remote_roster) -> List[Dict]:
+        """Changed (or never-shipped) category heads, per slice.
+
+        Detection rides :attr:`Category.head_version` — an O(1) counter
+        bumped by every head/online mutation path (traffic, task output,
+        partition-loss faults) at the :class:`Partition` layer, so an
+        idle category costs a dict probe per tick instead of a
+        per-partition value compare.
+        """
+        needed: List[set] = [set() for _ in range(self.partitions)]
+        all_categories = set()
+        for target in range(1, self.partitions):
+            shipped = self._shipped_specs[target]
+            for row in remote_roster[target]:
+                category = shipped[row[2]].input_category
+                if category:
+                    needed[target].add(category)
+                    all_categories.add(category)
+        scribe = self._platform.scribe
+        for category_name in sorted(all_categories):
+            category = scribe.get_category(category_name)
+            if (
+                self._head_version.get(category_name)
+                == category.head_version
+                and category_name in self._head_cache
+            ):
+                continue
+            self._head_cache[category_name] = (
+                tuple(p.head for p in category.partitions),
+                tuple(p.online for p in category.partitions),
+            )
+            self._head_version[category_name] = category.head_version
+        payload: List[Dict] = [{} for _ in range(self.partitions)]
+        for target in range(1, self.partitions):
+            slice_versions = self._slice_heads[target]
+            for category_name in needed[target]:
+                version = self._head_version[category_name]
+                if slice_versions.get(category_name) != version:
+                    payload[target][category_name] = self._head_cache[
+                        category_name
+                    ]
+                    slice_versions[category_name] = version
+        return payload
+
+    def _checkpoint_payload(self, remote_roster) -> Dict[str, Dict[str, float]]:
+        """Offset snapshots for jobs whose checkpoints were mutated
+        outside the tick barrier (plus everything on a full resync).
+
+        Staleness is detected two ways: explicit :meth:`mark_job_dirty`
+        calls from known writers, and — the safety net — the checkpoint
+        store's per-job mutation counter, which the coordinator records
+        after every apply phase. Any writer that moves a job's cursors
+        between ticks bumps the counter past the recorded value, so the
+        job reships even if nobody remembered to hook that writer.
+        """
+        checkpoints = self._platform.scribe.checkpoints
+        roster_jobs = set()
+        for target in range(1, self.partitions):
+            shipped = self._shipped_specs[target]
+            roster_jobs.update(
+                shipped[row[2]].job_id for row in remote_roster[target]
+            )
+        self._remote_jobs = roster_jobs
+        if self._all_dirty:
+            jobs = self._dirty_jobs | roster_jobs
+        else:
+            jobs = set(self._dirty_jobs)
+            for job_id in roster_jobs:
+                if checkpoints.version(job_id) != self._job_version.get(
+                    job_id
+                ):
+                    jobs.add(job_id)
+        return {
+            job_id: checkpoints.snapshot(job_id) for job_id in sorted(jobs)
+        }
+
+    # ------------------------------------------------------------------
+    def _replan(self) -> None:
+        """Fold measured shard costs into a load-aware plan and gauge the
+        skew at the fixed reference width (deterministic at any actual
+        partition count; the actual-width skew stays a run summary)."""
+        self.replanned = True
+        costs = list(self._cost_u)
+        self.plan = PartitionPlan.load_aware(
+            self.num_shards, self.partitions, costs
+        )
+        self.plan_skew = self.plan.skew(costs)
+        # A task's slice may change under the new fold; worker mirrors
+        # must not trust offsets shipped for the old routing.
+        self._all_dirty = True
+        width = min(PLAN_SKEW_REFERENCE_WIDTH, self.num_shards)
+        telemetry = self._platform.telemetry
+        telemetry.set_gauge(
+            "dataplane.plan.skew",
+            PartitionPlan.load_aware(self.num_shards, width, costs).skew(costs),
+        )
+        telemetry.set_gauge(
+            "dataplane.plan.skew_modulo",
+            PartitionPlan(self.num_shards, width).skew(costs),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PlatformDataPlane(partitions={self.partitions}, "
+            f"ticks={self.ticks}, replanned={self.replanned})"
+        )

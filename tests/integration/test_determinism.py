@@ -557,3 +557,82 @@ class TestParallelSubstrateTransparency:
         assert res_sharded.partitions == 4
         assert res_sharded.fingerprint_json == res_single.fingerprint_json
         assert res_sharded.timeline_text == res_single.timeline_text
+
+
+class TestDataPlaneTransparency:
+    """The platform data plane's partition count must be invisible.
+
+    Golden same-seed chaos drills run with the full ``Turbine`` platform's
+    per-round task stepping on 1 partition slice and on 4 must agree
+    byte-for-byte on all five exports — the platform fingerprint, the
+    incident timeline, the SLO report, the causal trace, and the
+    deterministic telemetry stream. Faults are part of the contract: the
+    drill injects checkpoint loss and host failure mid-run, so the
+    comparison exercises the dirty-job reship path and the contended
+    (lazy) slot path, not just steady state.
+
+    Width-dependent facts (wall clock, ``used_processes``) stay out of
+    the exports; the plan-skew gauge is emitted at a fixed reference
+    width precisely so it lands inside the byte-identical set.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_chaos_drill_byte_identical_at_1_and_4_partitions(self, seed):
+        from repro.chaos import run_scenario
+
+        single = run_scenario(
+            "checkpoint-restore-vs-cold-restart", seed=seed,
+            data_plane_partitions=1,
+        )
+        sharded = run_scenario(
+            "checkpoint-restore-vs-cold-restart", seed=seed,
+            data_plane_partitions=4,
+        )
+        assert sharded.fingerprint_json == single.fingerprint_json
+        assert sharded.timeline_text == single.timeline_text
+        assert sharded.slo_report_json == single.slo_report_json
+        assert sharded.trace_jsonl == single.trace_jsonl
+        assert sharded.telemetry_jsonl == single.telemetry_jsonl
+        assert single.fingerprint_json, "fingerprint must not be empty"
+        assert "dataplane.ticks" in single.telemetry_jsonl
+        assert "dataplane.plan.skew" in single.telemetry_jsonl
+
+    def test_data_plane_matches_legacy_serial_path(self):
+        """Attaching the plane at width 1 reproduces the serial stepper."""
+        from repro.chaos import run_scenario
+
+        legacy = run_scenario("standby-takeover", seed=7)
+        planed = run_scenario(
+            "standby-takeover", seed=7, data_plane_partitions=1
+        )
+        assert planed.timeline_text == legacy.timeline_text
+        assert planed.slo_report_json == legacy.slo_report_json
+
+    def test_worker_processes_byte_identical_too(self):
+        from repro.chaos import run_scenario
+
+        inline = run_scenario(
+            "standby-takeover", seed=7, data_plane_partitions=4,
+        )
+        forked = run_scenario(
+            "standby-takeover", seed=7, data_plane_partitions=4,
+            data_plane_processes=True,
+        )
+        assert forked.fingerprint_json == inline.fingerprint_json
+        assert forked.timeline_text == inline.timeline_text
+        assert forked.slo_report_json == inline.slo_report_json
+        assert forked.trace_jsonl == inline.trace_jsonl
+        assert forked.telemetry_jsonl == inline.telemetry_jsonl
+
+    def test_data_plane_actually_engaged_in_golden_run(self):
+        """Guard against the transparency test passing vacuously."""
+        from repro.chaos import run_scenario
+
+        result = run_scenario(
+            "standby-takeover", seed=7, data_plane_partitions=4,
+        )
+        assert result.data_plane_partitions == 4
+        assert result.dataplane_ticks > 0, (
+            "the plane should own every step tick once attached"
+        )
+        assert result.plan_skew >= 1.0
